@@ -1,0 +1,66 @@
+"""Shared fixtures of the benchmark harness.
+
+Every benchmark runs one of the paper's experiments at the scaled-down
+configuration defined here (see DESIGN.md for the mapping to the paper's
+full-scale parameters) and prints the same rows/series the paper reports.
+Benchmarks are wall-clock heavy (they run full online studies), so each one
+uses a single pytest-benchmark round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.common import ExperimentScale, default_scale
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repro-full-scale",
+        action="store_true",
+        default=False,
+        help="Run the benchmarks at the larger (slower) reference scale.",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_scale(request) -> ExperimentScale:
+    """Experiment scale used by the benchmarks.
+
+    The default keeps every benchmark in the seconds range; ``--repro-full-scale``
+    switches to a larger configuration that takes minutes but produces smoother
+    curves (still far below the paper's supercomputer scale).
+    """
+    if request.config.getoption("--repro-full-scale"):
+        return replace(
+            default_scale(),
+            nx=24,
+            ny=24,
+            num_steps=30,
+            num_simulations=36,
+            series_sizes=(16, 16, 4),
+            buffer_capacity=256,
+            buffer_threshold=64,
+            hidden_sizes=(64, 64),
+        )
+    return replace(
+        default_scale(),
+        nx=12,
+        ny=12,
+        num_steps=12,
+        num_simulations=12,
+        series_sizes=(6, 4, 2),
+        buffer_capacity=48,
+        buffer_threshold=12,
+        hidden_sizes=(32, 32),
+        validation_simulations=2,
+        validation_interval=15,
+        inter_series_delay=0.2,
+    )
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

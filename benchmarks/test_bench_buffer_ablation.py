@@ -1,0 +1,140 @@
+"""Ablation benchmarks of the Reservoir design choices (see DESIGN.md §6).
+
+* eviction-on-write (Reservoir) vs eviction-on-read (FIRO) under a production
+  stall — isolates the mechanism behind the Figure 2 gap;
+* buffer capacity / threshold sensitivity;
+* batch selection with vs without replacement.
+
+These are pure-buffer micro-benchmarks (no solver, no network training) so the
+numbers reflect the data structures themselves.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.buffers import FIROBuffer, ReservoirBuffer
+from repro.buffers.base import SampleRecord
+from repro.experiments.reporting import format_rows
+
+
+def _record(index: int) -> SampleRecord:
+    return SampleRecord(
+        inputs=np.array([index], dtype=np.float32),
+        target=np.zeros(16, dtype=np.float32),
+        source_id=index // 100,
+        time_step=index % 100,
+    )
+
+
+def _stall_scenario(buffer, produce_first: int, stall_reads: int, batch_size: int = 10):
+    """Produce a burst, then stop production and count batches still deliverable."""
+    for index in range(produce_first):
+        if not buffer.try_put(_record(index)):
+            break
+    delivered = 0
+    for _ in range(stall_reads):
+        batch = []
+        for _ in range(batch_size):
+            try:
+                item = buffer.get(timeout=0.001)
+            except TimeoutError:
+                item = None
+            if item is None:
+                break
+            batch.append(item)
+        if len(batch) == batch_size:
+            delivered += 1
+    return delivered
+
+
+def test_ablation_eviction_policy_under_stall(benchmark):
+    """Reservoir keeps delivering batches during a production stall; FIRO stops."""
+
+    def run():
+        reservoir = ReservoirBuffer(capacity=200, threshold=50, seed=0)
+        firo = FIROBuffer(capacity=200, threshold=50, seed=0)
+        return {
+            "reservoir": _stall_scenario(reservoir, produce_first=150, stall_reads=100),
+            "firo": _stall_scenario(firo, produce_first=150, stall_reads=100),
+        }
+
+    delivered = run_once(benchmark, run)
+    print()
+    print(format_rows(
+        [{"buffer": kind, "full_batches_during_stall": count} for kind, count in delivered.items()],
+        title="Ablation — batches deliverable during a production stall",
+    ))
+    assert delivered["reservoir"] == 100      # GPU never starves
+    assert delivered["firo"] < delivered["reservoir"]
+
+
+def test_ablation_threshold_sensitivity(benchmark):
+    """A higher threshold delays the first batch but does not limit steady state."""
+
+    def run():
+        results = []
+        for threshold in (0, 50, 150):
+            buffer = ReservoirBuffer(capacity=200, threshold=threshold, seed=0)
+            produced = 0
+            first_batch_at = None
+            delivered = 0
+            for index in range(400):
+                buffer.try_put(_record(index))
+                produced += 1
+                batch = buffer.sample_without_replacement(10)
+                if batch is not None:
+                    delivered += 1
+                    if first_batch_at is None:
+                        first_batch_at = produced
+            results.append({
+                "threshold": threshold,
+                "first_batch_after_samples": first_batch_at,
+                "batches_delivered": delivered,
+            })
+        return results
+
+    rows = run_once(benchmark, run)
+    print()
+    print(format_rows(rows, title="Ablation — Reservoir threshold sensitivity"))
+    first = {row["threshold"]: row["first_batch_after_samples"] for row in rows}
+    assert first[0] <= first[50] <= first[150]
+    delivered = {row["threshold"]: row["batches_delivered"] for row in rows}
+    assert delivered[150] > 0
+
+
+def test_ablation_with_vs_without_replacement(benchmark):
+    """Without-replacement batches contain no duplicates but cost more per draw."""
+
+    def run():
+        buffer = ReservoirBuffer(capacity=500, threshold=0, seed=0)
+        for index in range(500):
+            buffer.put(_record(index))
+        import time
+
+        start = time.perf_counter()
+        with_replacement = [buffer.get_batch(50) for _ in range(100)]
+        with_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        without_replacement = [buffer.sample_without_replacement(50) for _ in range(100)]
+        without_time = time.perf_counter() - start
+        return with_replacement, without_replacement, with_time, without_time
+
+    with_rep, without_rep, with_time, without_time = run_once(benchmark, run)
+    duplicate_batches_with = sum(
+        1 for batch in with_rep if len({r.key() for r in batch}) < len(batch)
+    )
+    duplicate_batches_without = sum(
+        1 for batch in without_rep if batch and len({r.key() for r in batch}) < len(batch)
+    )
+    print()
+    print(format_rows(
+        [
+            {"mode": "with replacement", "batches_with_duplicates": duplicate_batches_with,
+             "seconds_per_100_batches": with_time},
+            {"mode": "without replacement", "batches_with_duplicates": duplicate_batches_without,
+             "seconds_per_100_batches": without_time},
+        ],
+        title="Ablation — batch selection with vs without replacement",
+    ))
+    assert duplicate_batches_without == 0

@@ -1,0 +1,30 @@
+"""Benchmark reproducing Figure 2: buffer population and training throughput.
+
+Paper result: FIFO and FIRO throughput follows the client data-production rate
+and drops at the transitions between client series; the Reservoir keeps the
+GPU busy by repeating samples and its buffer population stays at capacity.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig2_throughput import run_fig2_throughput
+from repro.experiments.reporting import format_rows, format_series
+
+
+def test_fig2_throughput(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig2_throughput, bench_scale)
+
+    rows = result.summary_rows()
+    print()
+    print(format_rows(rows, title="Figure 2 — mean training throughput per buffer"))
+    for kind, series in result.series.items():
+        print(format_series(series.throughput_times, series.throughput_values,
+                            label=f"throughput[{kind}] (samples/s)"))
+        print(format_series(series.population_times, series.population_values,
+                            label=f"population[{kind}]"))
+    print(f"Reservoir / FIFO mean-throughput ratio: {result.reservoir_speedup_over_fifo():.2f}x "
+          "(paper: Reservoir constantly higher, ~1.3-4.8x depending on GPU count)")
+
+    # Paper-shape assertions.
+    assert result.mean_throughput("reservoir") > result.mean_throughput("fifo")
+    assert result.mean_throughput("reservoir") > result.mean_throughput("firo")
+    assert result.series["reservoir"].max_population >= bench_scale.buffer_capacity * 0.75

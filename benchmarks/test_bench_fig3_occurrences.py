@@ -1,0 +1,25 @@
+"""Benchmark reproducing Figure 3: sample-occurrence histogram of the Reservoir.
+
+Paper result: most samples appear in training batches a couple of times (at
+most ~8), and the repetition rate grows with the number of GPUs because each
+rank's buffer receives fewer fresh samples while consuming more.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig3_occurrences import run_fig3_occurrences
+from repro.experiments.reporting import format_histogram, format_rows
+
+
+def test_fig3_occurrences(benchmark, bench_scale):
+    result = run_once(benchmark, run_fig3_occurrences, bench_scale, gpu_counts=(1, 2, 4))
+
+    print()
+    print(format_rows(result.summary_rows(), title="Figure 3 — sample repetitions (Reservoir)"))
+    for gpus, histogram in result.histograms.items():
+        print(format_histogram(histogram, title=f"occurrences with {gpus} GPU(s)"))
+
+    for gpus in (1, 2, 4):
+        assert sum(result.histograms[gpus].values()) > 0
+        assert result.mean_occurrences[gpus] >= 1.0
+    # Repetition does not decrease when adding GPUs at fixed data production.
+    assert result.mean_occurrences[4] >= result.mean_occurrences[1] * 0.8

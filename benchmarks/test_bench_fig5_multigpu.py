@@ -1,0 +1,31 @@
+"""Benchmark reproducing Figure 5: multi-GPU scaling of the training buffers.
+
+Paper result: FIFO and FIRO fail to provide higher throughput when GPUs are
+added (production-limited); only the Reservoir scales, and it consistently
+reaches the lowest validation loss at every GPU count.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5_multigpu import run_fig5_multigpu
+from repro.experiments.reporting import format_rows
+
+
+def test_fig5_multigpu(benchmark, bench_scale):
+    result = run_once(
+        benchmark,
+        run_fig5_multigpu,
+        bench_scale,
+        gpu_counts=(1, 2, 4),
+        buffer_kinds=("fifo", "firo", "reservoir"),
+    )
+
+    print()
+    print(format_rows(result.summary_rows(), title="Figure 5 / Table 1 — buffers x GPU count"))
+    print(f"Reservoir throughput scaling 1->4 GPUs: {result.throughput_scaling('reservoir'):.2f}x")
+    print(f"FIFO throughput scaling 1->4 GPUs:      {result.throughput_scaling('fifo'):.2f}x")
+
+    # Paper-shape assertions.
+    assert result.throughput("reservoir", 4) > result.throughput("fifo", 4)
+    assert result.throughput_scaling("reservoir") >= result.throughput_scaling("fifo") * 0.9
+    for gpus in (1, 2, 4):
+        assert result.best_val("reservoir", gpus) <= result.best_val("fifo", gpus) * 1.25

@@ -1,0 +1,22 @@
+"""Benchmark reproducing Appendix A: expected residency time in the Reservoir.
+
+Paper result: with random-overwrite insertion into a container of capacity n,
+the expected number of insertions an item survives is n - 1.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.appendix_residency import run_residency_experiment
+from repro.experiments.reporting import format_rows
+
+
+def test_residency(benchmark):
+    result = run_once(benchmark, run_residency_experiment,
+                      capacities=(16, 64, 256, 1024), insertions_per_capacity=500)
+
+    print()
+    print(format_rows(result.summary_rows(),
+                      title="Appendix A — measured vs analytic residency time (n-1)"))
+
+    assert result.max_relative_error() < 0.1
+    for capacity in (16, 64, 256, 1024):
+        assert result.analytic_means[capacity] == capacity - 1

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Compare the FIFO, FIRO and Reservoir training buffers (paper Figures 2 and 4).
+
+Runs the same scaled-down ensemble three times, changing only the training
+buffer, and prints the throughput / buffer population / validation quality of
+each policy — the single-node equivalent of the paper's Section 4.3-4.4.
+
+Run with::
+
+    python examples/buffer_comparison.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.common import build_case, build_validation, default_scale, run_online_with_buffer
+from repro.experiments.reporting import format_rows, format_series
+
+
+def main() -> None:
+    scale = replace(
+        default_scale(),
+        num_simulations=16,
+        series_sizes=(8, 8),
+        num_steps=15,
+        inter_series_delay=0.25,
+    )
+    case = build_case(scale)
+    validation = build_validation(case, scale)
+
+    rows = []
+    for buffer_kind in ("fifo", "firo", "reservoir"):
+        result = run_online_with_buffer(
+            buffer_kind,
+            scale=scale,
+            num_ranks=1,
+            case=build_case(scale),   # same experimental design for every run
+            validation=validation,
+        )
+        metrics = result.metrics
+        rows.append(
+            {
+                "buffer": buffer_kind,
+                "mean_throughput_samples_s": result.mean_throughput,
+                "batches": result.total_batches,
+                "max_buffer_population": metrics.buffer_population.max_population(),
+                "best_val_mse": result.best_validation_loss,
+                "wall_time_s": result.total_elapsed,
+            }
+        )
+        times, values = metrics.throughput.series()
+        print(format_series(times, values, label=f"throughput[{buffer_kind}] (samples/s)"))
+
+    print()
+    print(format_rows(rows, title="Buffer comparison (paper Figures 2 & 4, scaled down)"))
+    print(
+        "\nExpected shape: FIFO/FIRO throughput tracks the data-production rate and dips"
+        "\nbetween client series; the Reservoir stays GPU-bound, keeps its buffer full and"
+        "\nreaches the lowest validation MSE."
+    )
+
+
+if __name__ == "__main__":
+    main()

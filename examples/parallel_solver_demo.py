@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""The domain-decomposed heat solver on its own (the paper's MPI solver substrate).
+
+Runs the same simulation with the sequential sparse solver and with the
+SPMD/domain-decomposed solver (halo exchanges + distributed conjugate
+gradient) on 1, 2 and 4 ranks, verifies they agree, and reports the timing.
+
+Run with::
+
+    python examples/parallel_solver_demo.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.experiments.reporting import format_rows
+from repro.solvers.heat2d import HeatEquationConfig, HeatEquationSolver, HeatParameters
+from repro.solvers.heat2d_parallel import ParallelHeatSolver
+
+
+def main() -> None:
+    config = HeatEquationConfig(nx=48, ny=48, num_steps=20, dt=0.01, alpha=1.0)
+    params = HeatParameters(t_ic=300.0, t_x1=450.0, t_y1=120.0, t_x2=250.0, t_y2=380.0)
+
+    start = time.perf_counter()
+    reference = HeatEquationSolver(config).run(params)
+    sequential_time = time.perf_counter() - start
+
+    rows = [{
+        "solver": "sequential (sparse LU)",
+        "ranks": 1,
+        "seconds": sequential_time,
+        "max_abs_diff_vs_reference": 0.0,
+    }]
+    for ranks in (1, 2, 4):
+        start = time.perf_counter()
+        series = ParallelHeatSolver(config, num_ranks=ranks).run(params)
+        elapsed = time.perf_counter() - start
+        diff = max(
+            float(np.abs(f_par - f_ref).max())
+            for (_, f_par), (_, f_ref) in zip(series, reference)
+        )
+        rows.append({
+            "solver": "domain-decomposed (distributed CG)",
+            "ranks": ranks,
+            "seconds": elapsed,
+            "max_abs_diff_vs_reference": diff,
+        })
+
+    print(format_rows(rows, title="Sequential vs domain-decomposed heat solver"))
+    print("\nThe decomposed solver reproduces the sequential solution to solver tolerance;"
+          "\nits thread-based ranks stand in for the paper's MPI processes (the Python GIL"
+          "\nmeans wall-clock speedup is not the point — the communication structure is).")
+    print(f"\nFinal field statistics: min={reference.final().min():.1f} K, "
+          f"max={reference.final().max():.1f} K, mean={reference.final().mean():.1f} K")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e . --no-use-pep517`` (legacy editable install) works on
+machines where PEP 517 build isolation is unavailable (e.g. air-gapped nodes).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,198 @@
+"""Common interface and bookkeeping of the training buffers."""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.exceptions import BufferClosedError
+
+Array = np.ndarray
+
+__all__ = ["SampleRecord", "TrainingBuffer", "BufferClosedError"]
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """One training sample held by a buffer.
+
+    Attributes
+    ----------
+    inputs:
+        The surrogate input vector ``(X, t)``.
+    target:
+        The flattened field ``u_t_X`` (float32).
+    source_id:
+        Identifier of the producing simulation (ensemble member).
+    time_step:
+        Time-step index within that simulation.
+    """
+
+    inputs: Array
+    target: Array
+    source_id: int = -1
+    time_step: int = -1
+
+    def key(self) -> Tuple[int, int]:
+        """Unique identity of the sample within a study."""
+        return (self.source_id, self.time_step)
+
+
+class TrainingBuffer:
+    """Thread-safe bounded sample container shared by producer and consumer.
+
+    The API follows Algorithm 1 of the paper:
+
+    * :meth:`put` — called by the data-aggregator thread for each received
+      time step; may block when the buffer cannot accept new data.
+    * :meth:`get` — called by the training thread to draw one sample; may
+      block until the population passes the threshold.
+    * :meth:`signal_reception_over` — called once all clients have finished;
+      lifts the threshold and (for policies that retain data) switches the
+      buffer into draining mode.
+
+    Batches are built by repeated :meth:`get` calls (:meth:`get_batch`).
+    """
+
+    def __init__(self, capacity: int, threshold: int = 0) -> None:
+        if capacity <= 0:
+            raise ValueError("buffer capacity must be positive")
+        if threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if threshold > capacity:
+            raise ValueError("threshold cannot exceed capacity")
+        self.capacity = int(capacity)
+        self.threshold = int(threshold)
+        self._lock = threading.Condition()
+        self._reception_over = False
+        self._closed = False
+        # Counters shared by all policies.
+        self.total_put = 0
+        self.total_got = 0
+
+    # ----------------------------------------------------------------- hooks
+    def _size_locked(self) -> int:
+        raise NotImplementedError
+
+    def _can_put_locked(self) -> bool:
+        raise NotImplementedError
+
+    def _can_get_locked(self) -> bool:
+        raise NotImplementedError
+
+    def _do_put_locked(self, record: SampleRecord) -> None:
+        raise NotImplementedError
+
+    def _do_get_locked(self) -> SampleRecord:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------- api
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size_locked()
+
+    @property
+    def reception_over(self) -> bool:
+        with self._lock:
+            return self._reception_over
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def put(self, record: SampleRecord, timeout: Optional[float] = None) -> None:
+        """Insert a new sample, blocking while the buffer cannot accept it."""
+        with self._lock:
+            if self._closed:
+                raise BufferClosedError("cannot put into a closed buffer")
+            if not self._lock.wait_for(
+                lambda: self._can_put_locked() or self._closed, timeout=timeout
+            ):
+                raise TimeoutError("timed out waiting for buffer space")
+            if self._closed:
+                raise BufferClosedError("buffer closed while waiting to put")
+            self._do_put_locked(record)
+            self.total_put += 1
+            self._lock.notify_all()
+
+    def try_put(self, record: SampleRecord) -> bool:
+        """Non-blocking put; returns False when the buffer cannot accept data now."""
+        with self._lock:
+            if self._closed:
+                raise BufferClosedError("cannot put into a closed buffer")
+            if not self._can_put_locked():
+                return False
+            self._do_put_locked(record)
+            self.total_put += 1
+            self._lock.notify_all()
+            return True
+
+    def get(self, timeout: Optional[float] = None) -> Optional[SampleRecord]:
+        """Draw one sample, blocking until one is available.
+
+        Returns ``None`` when the buffer is exhausted: reception is over and no
+        sample can ever be produced again (this is the training-loop
+        termination condition described in the paper).
+        """
+        with self._lock:
+            def ready() -> bool:
+                return self._can_get_locked() or self._exhausted_locked() or self._closed
+
+            if not self._lock.wait_for(ready, timeout=timeout):
+                raise TimeoutError("timed out waiting for a sample")
+            if self._closed or self._exhausted_locked():
+                return None
+            record = self._do_get_locked()
+            self.total_got += 1
+            self._lock.notify_all()
+            return record
+
+    def get_batch(self, batch_size: int, timeout: Optional[float] = None) -> List[SampleRecord]:
+        """Draw ``batch_size`` samples (shorter batch only when exhausted)."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        batch: List[SampleRecord] = []
+        for _ in range(batch_size):
+            record = self.get(timeout=timeout)
+            if record is None:
+                break
+            batch.append(record)
+        return batch
+
+    def _exhausted_locked(self) -> bool:
+        """True when reception is over and no further sample can be produced."""
+        return self._reception_over and not self._can_get_locked()
+
+    @property
+    def exhausted(self) -> bool:
+        with self._lock:
+            return self._exhausted_locked()
+
+    def signal_reception_over(self) -> None:
+        """Notify the buffer that no new data will ever arrive."""
+        with self._lock:
+            self._reception_over = True
+            self._lock.notify_all()
+
+    def close(self) -> None:
+        """Abort: wake every waiter; subsequent puts raise, gets return None."""
+        with self._lock:
+            self._closed = True
+            self._lock.notify_all()
+
+    # -------------------------------------------------------------- inspection
+    def snapshot(self) -> dict:
+        """Population counters used by the monitoring/metrics code."""
+        with self._lock:
+            return {
+                "size": self._size_locked(),
+                "capacity": self.capacity,
+                "threshold": self.threshold,
+                "total_put": self.total_put,
+                "total_got": self.total_got,
+                "reception_over": self._reception_over,
+            }

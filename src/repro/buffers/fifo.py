@@ -1,0 +1,38 @@
+"""FIFO training buffer (pure streaming baseline)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.buffers.base import SampleRecord, TrainingBuffer
+
+
+class FIFOBuffer(TrainingBuffer):
+    """First-in first-out buffer.
+
+    Data are batched for training in exactly the order they are received, and
+    each sample is seen once and only once.  Production blocks when the buffer
+    is full; consumption blocks when it is empty.  This is the paper's
+    streaming baseline whose throughput tracks the instantaneous data
+    production rate.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity=capacity, threshold=0)
+        self._queue: Deque[SampleRecord] = deque()
+
+    def _size_locked(self) -> int:
+        return len(self._queue)
+
+    def _can_put_locked(self) -> bool:
+        return len(self._queue) < self.capacity
+
+    def _can_get_locked(self) -> bool:
+        return len(self._queue) > 0
+
+    def _do_put_locked(self, record: SampleRecord) -> None:
+        self._queue.append(record)
+
+    def _do_get_locked(self) -> SampleRecord:
+        return self._queue.popleft()

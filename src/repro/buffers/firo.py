@@ -1,0 +1,55 @@
+"""FIRO training buffer (first in, random out)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.buffers.base import SampleRecord, TrainingBuffer
+from repro.utils.seeding import derive_rng
+
+
+class FIROBuffer(TrainingBuffer):
+    """First-in random-out buffer with a minimum-population threshold.
+
+    Behaviour (Section 3.2.3 of the paper):
+
+    * newly received samples are appended at the end of a list;
+    * samples are *evicted upon reading*, drawn from a uniformly random
+      position, which de-biases batches relative to FIFO;
+    * batches may only be extracted while the population exceeds the
+      threshold; the threshold is set to zero once data production is over so
+      the remaining samples can be consumed.
+
+    Each sample is still seen exactly once, so the consumption rate cannot
+    exceed the production rate in steady state — the limitation the Reservoir
+    removes.
+    """
+
+    def __init__(self, capacity: int, threshold: int = 0, seed: int = 0) -> None:
+        super().__init__(capacity=capacity, threshold=threshold)
+        self._items: List[SampleRecord] = []
+        self._rng = derive_rng("firo-buffer", seed)
+
+    def _size_locked(self) -> int:
+        return len(self._items)
+
+    def _can_put_locked(self) -> bool:
+        return len(self._items) < self.capacity
+
+    def _can_get_locked(self) -> bool:
+        if not self._items:
+            return False
+        if self._reception_over:
+            # Threshold released at end of reception: drain whatever remains.
+            return True
+        return len(self._items) > self.threshold
+
+    def _do_put_locked(self, record: SampleRecord) -> None:
+        self._items.append(record)
+
+    def _do_get_locked(self) -> SampleRecord:
+        index = int(self._rng.integers(len(self._items)))
+        # Swap-remove keeps eviction O(1); order within the list is irrelevant
+        # because reads pick uniformly random positions anyway.
+        self._items[index], self._items[-1] = self._items[-1], self._items[index]
+        return self._items.pop()

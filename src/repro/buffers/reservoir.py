@@ -1,0 +1,147 @@
+"""The Reservoir training buffer (Algorithm 1 of the paper).
+
+The Reservoir distinguishes *unseen* samples (never selected in a batch) from
+*seen* ones.  Compared to FIFO/FIRO it:
+
+* lets data be selected more than once, so the consumer never starves while
+  waiting for fresh data (throughput);
+* always accepts newly produced data while the number of unseen samples is
+  below capacity, evicting an already-seen sample when full, so no unseen
+  sample is ever discarded (diversity);
+* draws batch elements uniformly, with replacement, over the union of seen and
+  unseen samples, moving each freshly selected unseen sample into the seen
+  list;
+* blocks batch extraction until the population exceeds the threshold, and
+  lifts the blocking once data reception is over, after which samples are
+  removed as they are drawn until the buffer empties out and training stops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.buffers.base import SampleRecord, TrainingBuffer
+from repro.utils.seeding import derive_rng
+
+
+class ReservoirBuffer(TrainingBuffer):
+    """Training reservoir with seen/unseen bookkeeping (paper Algorithm 1)."""
+
+    def __init__(self, capacity: int, threshold: int = 0, seed: int = 0) -> None:
+        super().__init__(capacity=capacity, threshold=threshold)
+        self._seen: List[SampleRecord] = []
+        self._not_seen: List[SampleRecord] = []
+        self._rng = derive_rng("reservoir-buffer", seed)
+        # Counters used by the experiments.
+        self.evicted_seen = 0
+        self.repeated_reads = 0
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def num_seen(self) -> int:
+        with self._lock:
+            return len(self._seen)
+
+    @property
+    def num_unseen(self) -> int:
+        with self._lock:
+            return len(self._not_seen)
+
+    def _size_locked(self) -> int:
+        return len(self._seen) + len(self._not_seen)
+
+    def snapshot(self) -> dict:
+        snap = super().snapshot()
+        with self._lock:
+            snap.update(
+                num_seen=len(self._seen),
+                num_unseen=len(self._not_seen),
+                evicted_seen=self.evicted_seen,
+                repeated_reads=self.repeated_reads,
+            )
+        return snap
+
+    # ------------------------------------------------------------------- put
+    def _can_put_locked(self) -> bool:
+        # Block only when the buffer is full of *unseen* samples: evicting one
+        # of them would discard data never used for training (Algorithm 1,
+        # lines 21-22).
+        return len(self._not_seen) < self.capacity
+
+    def _do_put_locked(self, record: SampleRecord) -> None:
+        if len(self._not_seen) + len(self._seen) >= self.capacity:
+            # Evict one random already-seen sample to make room (lines 24-26).
+            index = int(self._rng.integers(len(self._seen)))
+            self._seen[index] = self._seen[-1]
+            self._seen.pop()
+            self.evicted_seen += 1
+        self._not_seen.append(record)
+
+    # ------------------------------------------------------------------- get
+    def _can_get_locked(self) -> bool:
+        total = len(self._seen) + len(self._not_seen)
+        if total == 0:
+            return False
+        if self._reception_over:
+            # Threshold lifted once reception is over (Section 3.2.3).
+            return True
+        return total > self.threshold
+
+    def _do_get_locked(self) -> SampleRecord:
+        total = len(self._seen) + len(self._not_seen)
+        index = int(self._rng.integers(total))
+        if index < len(self._not_seen):
+            # Selected an unseen sample: remove it from the unseen list and,
+            # while reception is ongoing, keep it around in the seen list.
+            record = self._not_seen[index]
+            self._not_seen[index] = self._not_seen[-1]
+            self._not_seen.pop()
+            if not self._reception_over:
+                self._seen.append(record)
+        else:
+            seen_index = index - len(self._not_seen)
+            record = self._seen[seen_index]
+            self.repeated_reads += 1
+            if self._reception_over:
+                # Drain mode: empty the buffer as samples are consumed.
+                self._seen[seen_index] = self._seen[-1]
+                self._seen.pop()
+        return record
+
+    # -------------------------------------------------------------- sampling
+    def sample_without_replacement(self, batch_size: int) -> Optional[List[SampleRecord]]:
+        """Variant mentioned by the paper: draw a batch without replacement.
+
+        Returns ``None`` when fewer than ``batch_size`` samples are currently
+        available (no blocking).  Provided for the ablation benchmark; the
+        default :meth:`get`/:meth:`get_batch` path samples with replacement as
+        in Algorithm 1.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        with self._lock:
+            total = len(self._seen) + len(self._not_seen)
+            if total < batch_size or (not self._reception_over and total <= self.threshold):
+                return None
+            chosen = self._rng.choice(total, size=batch_size, replace=False)
+            batch: List[SampleRecord] = []
+            # Process indices in decreasing order so removals do not shift the
+            # positions of indices still to be processed.
+            for index in sorted((int(i) for i in chosen), reverse=True):
+                if index < len(self._not_seen):
+                    record = self._not_seen[index]
+                    self._not_seen[index] = self._not_seen[-1]
+                    self._not_seen.pop()
+                    if not self._reception_over:
+                        self._seen.append(record)
+                else:
+                    seen_index = index - len(self._not_seen)
+                    record = self._seen[seen_index]
+                    self.repeated_reads += 1
+                    if self._reception_over:
+                        self._seen[seen_index] = self._seen[-1]
+                        self._seen.pop()
+                batch.append(record)
+                self.total_got += 1
+            self._lock.notify_all()
+            return batch

@@ -1,0 +1,135 @@
+"""Buffer statistics: sample-occurrence tracking and residency-time analysis.
+
+* :class:`OccurrenceTracker` produces the histogram of Figure 3 (how many
+  times each simulation time step appears in training batches).
+* :func:`expected_residency_time` is the analytic result of Appendix A: the
+  expected number of insertions a sample survives in a container of capacity
+  ``n`` with random-overwrite insertion is ``n - 1``.
+* :func:`measure_residency_times` measures it empirically, used by the
+  property tests and the residency benchmark.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.utils.seeding import derive_rng
+
+
+class OccurrenceTracker:
+    """Counts how many times each sample key appears in training batches."""
+
+    def __init__(self) -> None:
+        self._counts: Counter = Counter()
+
+    def record(self, key: Hashable) -> None:
+        """Record one occurrence of ``key`` in a batch."""
+        self._counts[key] += 1
+
+    def record_batch(self, keys: Iterable[Hashable]) -> None:
+        """Record every key of a batch."""
+        for key in keys:
+            self._counts[key] += 1
+
+    @property
+    def num_unique(self) -> int:
+        """Number of distinct samples ever selected."""
+        return len(self._counts)
+
+    @property
+    def total_occurrences(self) -> int:
+        """Total number of selections (batch slots filled)."""
+        return int(sum(self._counts.values()))
+
+    def count(self, key: Hashable) -> int:
+        return self._counts.get(key, 0)
+
+    def histogram(self) -> Dict[int, int]:
+        """Mapping occurrence-count -> number of samples seen that many times.
+
+        This is exactly the data plotted in the paper's Figure 3.
+        """
+        histogram: Counter = Counter(self._counts.values())
+        return dict(sorted(histogram.items()))
+
+    def max_occurrences(self) -> int:
+        """Largest number of times any single sample was selected."""
+        return max(self._counts.values(), default=0)
+
+    def mean_occurrences(self) -> float:
+        """Average selections per distinct selected sample."""
+        if not self._counts:
+            return 0.0
+        return self.total_occurrences / self.num_unique
+
+
+@dataclass
+class BufferStatistics:
+    """Time series of buffer population and throughput, sampled during a run."""
+
+    times: List[float] = field(default_factory=list)
+    sizes: List[int] = field(default_factory=list)
+    unseen_sizes: List[int] = field(default_factory=list)
+    throughputs: List[float] = field(default_factory=list)
+
+    def record(self, time: float, size: int, unseen: int | None = None,
+               throughput: float | None = None) -> None:
+        self.times.append(float(time))
+        self.sizes.append(int(size))
+        self.unseen_sizes.append(int(unseen) if unseen is not None else int(size))
+        self.throughputs.append(float(throughput) if throughput is not None else float("nan"))
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (
+            np.asarray(self.times),
+            np.asarray(self.sizes),
+            np.asarray(self.throughputs),
+        )
+
+    def mean_population(self) -> float:
+        return float(np.mean(self.sizes)) if self.sizes else 0.0
+
+    def mean_throughput(self) -> float:
+        values = [t for t in self.throughputs if np.isfinite(t)]
+        return float(np.mean(values)) if values else 0.0
+
+
+def expected_residency_time(capacity: int) -> float:
+    """Appendix A: expected number of insertions a sample survives is ``n - 1``."""
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    return float(capacity - 1)
+
+
+def measure_residency_times(
+    capacity: int,
+    num_insertions: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Empirical residency times of the random-overwrite insertion process.
+
+    Simulates the Appendix A process: a container of ``capacity`` slots where
+    each new item overwrites a uniformly random slot, and returns the number of
+    subsequent insertions each evicted item survived.  Items still in the
+    container at the end are not counted (their residency is censored), which
+    matches the appendix's asymptotic setting ``m >> n``.
+    """
+    if capacity <= 0:
+        raise ValueError("capacity must be positive")
+    if num_insertions <= 0:
+        raise ValueError("num_insertions must be positive")
+    rng = derive_rng("residency-measure", capacity, seed)
+    birth = np.full(capacity, -1, dtype=np.int64)
+    residencies: List[int] = []
+    for step in range(num_insertions):
+        slot = int(rng.integers(capacity))
+        if birth[slot] >= 0:
+            # The item survived the insertions strictly between its own and the
+            # one evicting it, matching the paper's definition of p(k).
+            residencies.append(step - int(birth[slot]) - 1)
+        birth[slot] = step
+    return np.asarray(residencies, dtype=np.int64)

@@ -1,0 +1,13 @@
+"""Client side of the framework: the simulation instrumentation API.
+
+A *client* is one member of the ensemble: an instance of the simulation code
+running with its own parameter vector ``X``.  The paper instruments the solver
+with a minimal API (``init_communication`` / ``send`` / ``finalize``); the
+same API is provided here, plus a ready-made :class:`SimulationClient` that
+wraps any solver exposing ``iter_steps``.
+"""
+
+from repro.client.api import ClientAPI
+from repro.client.simulation_client import ClientRunResult, SimulationClient, SimulationFailure
+
+__all__ = ["ClientAPI", "SimulationClient", "ClientRunResult", "SimulationFailure"]

@@ -1,0 +1,112 @@
+"""Minimal Melissa-like client API.
+
+Mirrors the paper's three-call instrumentation contract:
+
+* ``init_communication`` — connect the client to every server rank and
+  announce the simulation metadata;
+* ``send`` — stream one time step as soon as it is computed (the field is
+  converted to float32 before transmission, as the paper's clients do);
+* ``finalize_communication`` — signal that no more data will be sent.
+
+The API object keeps the per-client sequence number used by the server for
+deduplication after a client restart.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.parallel.messages import ClientFinished, ClientHello, Heartbeat, TimeStepMessage
+from repro.parallel.transport import Connection, MessageRouter
+
+Array = np.ndarray
+
+
+class ClientAPI:
+    """Streaming API handed to an instrumented simulation code."""
+
+    def __init__(self, router: MessageRouter, client_id: int) -> None:
+        self._router = router
+        self.client_id = int(client_id)
+        self._connection: Connection | None = None
+        self._sequence = 0
+        self._finalized = False
+
+    # ------------------------------------------------------------------ setup
+    def init_communication(
+        self,
+        parameters: Sequence[float],
+        num_time_steps: int,
+        field_shape: Tuple[int, ...],
+        restart_count: int = 0,
+    ) -> None:
+        """Connect to the server and announce this client's metadata."""
+        if self._connection is not None:
+            raise RuntimeError("init_communication called twice")
+        self._connection = self._router.connect(self.client_id)
+        hello = ClientHello(
+            client_id=self.client_id,
+            parameters=tuple(float(p) for p in parameters),
+            num_time_steps=int(num_time_steps),
+            field_shape=tuple(int(s) for s in field_shape),
+            restart_count=int(restart_count),
+        )
+        self._connection.broadcast(hello)
+
+    @property
+    def connected(self) -> bool:
+        return self._connection is not None and not self._finalized
+
+    def _require_connection(self) -> Connection:
+        if self._connection is None:
+            raise RuntimeError("init_communication must be called before sending data")
+        if self._finalized:
+            raise RuntimeError("cannot send after finalize_communication")
+        return self._connection
+
+    # ------------------------------------------------------------------- send
+    def send(
+        self,
+        time_step: int,
+        time_value: float,
+        parameters: Sequence[float],
+        field: Array,
+    ) -> int:
+        """Stream one time step to the server; returns the server rank used.
+
+        The field is flattened and converted to float32 on the client, which is
+        the preprocessing the paper performs in situ to avoid overloading the
+        server.
+        """
+        connection = self._require_connection()
+        payload = np.asarray(field, dtype=np.float32).ravel()
+        message = TimeStepMessage(
+            client_id=self.client_id,
+            time_step=int(time_step),
+            time_value=float(time_value),
+            parameters=tuple(float(p) for p in parameters),
+            payload=payload,
+            sequence_number=self._sequence,
+        )
+        self._sequence += 1
+        return connection.send_round_robin(message)
+
+    def send_heartbeat(self, timestamp: float, progress: float) -> None:
+        """Send a liveness signal to server rank 0 (fault-detection channel)."""
+        connection = self._require_connection()
+        connection.send_to(0, Heartbeat(client_id=self.client_id, timestamp=timestamp,
+                                        progress=progress))
+
+    # --------------------------------------------------------------- teardown
+    def finalize_communication(self) -> None:
+        """Tell every server rank that this client will not send more data."""
+        connection = self._require_connection()
+        connection.broadcast(ClientFinished(client_id=self.client_id, total_sent=self._sequence))
+        self._finalized = True
+
+    @property
+    def messages_sent(self) -> int:
+        """Number of time-step messages sent so far."""
+        return self._sequence

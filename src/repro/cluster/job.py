@@ -1,0 +1,86 @@
+"""Batch jobs handled by the simulated scheduler."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a batch job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED)
+
+
+_job_counter = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """A resource request plus an estimated runtime.
+
+    Attributes
+    ----------
+    name:
+        Human readable job name (e.g. ``client-0042`` or ``server``).
+    partition:
+        Partition (queue) the job is submitted to.
+    cores, gpus:
+        Resources requested.
+    runtime:
+        Estimated runtime in (virtual) seconds once started.
+    payload:
+        Arbitrary object carried by the job (e.g. the simulation parameters);
+        the scheduler does not interpret it.
+    on_complete:
+        Optional callback invoked by the scheduler when the job finishes.
+    """
+
+    name: str
+    partition: str
+    cores: int = 1
+    gpus: int = 0
+    runtime: float = 0.0
+    payload: object = None
+    on_complete: Optional[Callable[["Job"], None]] = None
+
+    job_id: int = field(default_factory=lambda: next(_job_counter))
+    state: JobState = JobState.PENDING
+    submit_time: float = 0.0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("a job must request at least one core")
+        if self.gpus < 0:
+            raise ValueError("gpus must be non-negative")
+        if self.runtime < 0:
+            raise ValueError("runtime must be non-negative")
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Queueing delay (start - submit), None while pending."""
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def finished(self) -> bool:
+        return self.state.terminal
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Job(id={self.job_id}, name={self.name!r}, partition={self.partition!r}, "
+            f"cores={self.cores}, gpus={self.gpus}, state={self.state.value})"
+        )

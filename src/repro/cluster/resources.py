@@ -1,0 +1,89 @@
+"""Description of the simulated cluster: nodes, partitions, whole machine.
+
+Defaults mirror the paper's Jean-Zay configuration: CPU nodes with 2×20 Cascade
+Lake cores, GPU nodes with 4 V100s and 40 cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one node type."""
+
+    name: str
+    cores: int
+    gpus: int = 0
+    memory_gb: float = 192.0
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("a node needs at least one core")
+        if self.gpus < 0:
+            raise ValueError("gpus must be non-negative")
+
+
+@dataclass
+class Partition:
+    """A scheduling partition (queue) made of ``num_nodes`` identical nodes."""
+
+    name: str
+    node: NodeSpec
+    num_nodes: int
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("a partition needs at least one node")
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.cores
+
+    @property
+    def total_gpus(self) -> int:
+        return self.num_nodes * self.node.gpus
+
+
+@dataclass
+class ClusterSpec:
+    """Whole machine: a set of partitions addressed by name."""
+
+    partitions: Dict[str, Partition] = field(default_factory=dict)
+
+    def add_partition(self, partition: Partition) -> "ClusterSpec":
+        if partition.name in self.partitions:
+            raise ValueError(f"partition {partition.name!r} already defined")
+        self.partitions[partition.name] = partition
+        return self
+
+    def partition(self, name: str) -> Partition:
+        try:
+            return self.partitions[name]
+        except KeyError as exc:
+            raise KeyError(
+                f"unknown partition {name!r}; available: {sorted(self.partitions)}"
+            ) from exc
+
+    def names(self) -> List[str]:
+        return list(self.partitions)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(p.total_cores for p in self.partitions.values())
+
+    @property
+    def total_gpus(self) -> int:
+        return sum(p.total_gpus for p in self.partitions.values())
+
+
+def jean_zay_like(cpu_nodes: int = 128, gpu_nodes: int = 1) -> ClusterSpec:
+    """Build a scaled Jean-Zay-like cluster (CPU partition + 4-GPU nodes)."""
+    cpu_node = NodeSpec(name="cascade-lake", cores=40, gpus=0, memory_gb=192.0)
+    gpu_node = NodeSpec(name="v100-quad", cores=40, gpus=4, memory_gb=160.0)
+    spec = ClusterSpec()
+    spec.add_partition(Partition(name="cpu", node=cpu_node, num_nodes=cpu_nodes))
+    spec.add_partition(Partition(name="gpu", node=gpu_node, num_nodes=gpu_nodes))
+    return spec

@@ -1,0 +1,263 @@
+"""Slurm-like batch scheduler over the virtual clock.
+
+The scheduler is event-driven: jobs are submitted with a resource request and
+an estimated runtime; :meth:`BatchScheduler.advance` moves the virtual clock
+forward, starting pending jobs FIFO (with optional backfilling) whenever the
+requested resources are free and completing running jobs whose runtime has
+elapsed.  This is the substrate used by the launcher to reproduce the paper's
+client-series submission pattern and the resulting data-production stalls
+(Figure 2), and by the discrete-event performance model for Table 2.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.job import Job, JobState
+from repro.cluster.resources import ClusterSpec
+from repro.utils.exceptions import SchedulerError
+from repro.utils.timing import VirtualClock
+
+
+class AllocationPolicy(enum.Enum):
+    """Order in which pending jobs are considered for placement."""
+
+    FIFO = "fifo"
+    BACKFILL = "backfill"
+
+
+@dataclass
+class _PartitionUsage:
+    """Currently allocated cores/GPUs of one partition."""
+
+    cores_used: int = 0
+    gpus_used: int = 0
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate statistics maintained by the scheduler."""
+
+    submitted: int = 0
+    started: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    total_wait_time: float = 0.0
+    core_seconds: float = 0.0
+    gpu_seconds: float = 0.0
+
+    @property
+    def mean_wait_time(self) -> float:
+        return self.total_wait_time / self.started if self.started else 0.0
+
+
+class BatchScheduler:
+    """FIFO/backfill scheduler with per-partition core and GPU accounting."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        clock: Optional[VirtualClock] = None,
+        policy: AllocationPolicy = AllocationPolicy.FIFO,
+    ) -> None:
+        self.cluster = cluster
+        self.clock = clock or VirtualClock()
+        self.policy = policy
+        self._pending: List[Job] = []
+        self._running: List[Job] = []
+        self._completed: List[Job] = []
+        self._usage: Dict[str, _PartitionUsage] = {
+            name: _PartitionUsage() for name in cluster.partitions
+        }
+        self._jobs: Dict[int, Job] = {}
+        # Min-heap of (end_time, job_id) for running jobs.
+        self._end_events: List[tuple[float, int]] = []
+        self.stats = SchedulerStats()
+
+    # ----------------------------------------------------------------- submit
+    def submit(self, job: Job) -> Job:
+        """Submit a job; it stays pending until resources are available."""
+        if job.partition not in self.cluster.partitions:
+            raise SchedulerError(f"unknown partition {job.partition!r}")
+        partition = self.cluster.partition(job.partition)
+        if job.cores > partition.total_cores or job.gpus > partition.total_gpus:
+            raise SchedulerError(
+                f"job {job.name!r} requests more resources than partition "
+                f"{job.partition!r} provides"
+            )
+        job.submit_time = self.clock.now()
+        job.state = JobState.PENDING
+        self._pending.append(job)
+        self._jobs[job.job_id] = job
+        self.stats.submitted += 1
+        self._try_start_jobs()
+        return job
+
+    def cancel(self, job_id: int) -> Job:
+        """Cancel a pending or running job."""
+        job = self._get(job_id)
+        if job.state == JobState.PENDING:
+            self._pending.remove(job)
+        elif job.state == JobState.RUNNING:
+            self._release(job)
+            self._running.remove(job)
+        elif job.finished:
+            return job
+        job.state = JobState.CANCELLED
+        job.end_time = self.clock.now()
+        self._completed.append(job)
+        self.stats.cancelled += 1
+        self._try_start_jobs()
+        return job
+
+    def fail(self, job_id: int) -> Job:
+        """Mark a running job as failed immediately (fault injection)."""
+        job = self._get(job_id)
+        if job.state != JobState.RUNNING:
+            raise SchedulerError(f"job {job_id} is not running (state={job.state.value})")
+        self._release(job)
+        self._running.remove(job)
+        job.state = JobState.FAILED
+        job.end_time = self.clock.now()
+        self._completed.append(job)
+        self.stats.failed += 1
+        self._try_start_jobs()
+        return job
+
+    # ------------------------------------------------------------------ query
+    def _get(self, job_id: int) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError as exc:
+            raise SchedulerError(f"unknown job id {job_id}") from exc
+
+    def job(self, job_id: int) -> Job:
+        """Return the job with this id."""
+        return self._get(job_id)
+
+    def pending_jobs(self) -> List[Job]:
+        return list(self._pending)
+
+    def running_jobs(self) -> List[Job]:
+        return list(self._running)
+
+    def completed_jobs(self) -> List[Job]:
+        return list(self._completed)
+
+    def utilization(self, partition: str) -> float:
+        """Fraction of the partition's cores currently allocated."""
+        usage = self._usage[partition]
+        total = self.cluster.partition(partition).total_cores
+        return usage.cores_used / total if total else 0.0
+
+    # ------------------------------------------------------------------ clock
+    def advance(self, seconds: float) -> List[Job]:
+        """Advance the virtual clock, completing and starting jobs on the way.
+
+        Returns the jobs that completed during the interval, in completion order.
+        """
+        if seconds < 0:
+            raise SchedulerError("cannot advance the scheduler backwards")
+        target = self.clock.now() + seconds
+        newly_completed: List[Job] = []
+        while self._end_events and self._end_events[0][0] <= target:
+            end_time, job_id = heapq.heappop(self._end_events)
+            job = self._jobs[job_id]
+            if job.state != JobState.RUNNING:
+                continue  # already cancelled/failed
+            self.clock.advance_to(end_time)
+            self._complete(job)
+            newly_completed.append(job)
+            self._try_start_jobs()
+        self.clock.advance_to(target)
+        self._try_start_jobs()
+        return newly_completed
+
+    def run_until_idle(self, max_time: float = 1e12) -> float:
+        """Advance until no job is pending or running; returns the final time."""
+        guard = 0
+        while (self._pending or self._running) and self.clock.now() < max_time:
+            if self._end_events:
+                next_end = self._end_events[0][0]
+                self.advance(max(next_end - self.clock.now(), 0.0))
+            else:
+                # Pending jobs but nothing running and nothing can start: stuck.
+                started = self._try_start_jobs()
+                if not started:
+                    raise SchedulerError(
+                        "scheduler is stuck: pending jobs cannot be placed and no job is running"
+                    )
+            guard += 1
+            if guard > 10_000_000:  # pragma: no cover - safety net
+                raise SchedulerError("run_until_idle exceeded iteration guard")
+        return self.clock.now()
+
+    # -------------------------------------------------------------- internals
+    def _fits(self, job: Job) -> bool:
+        usage = self._usage[job.partition]
+        partition = self.cluster.partition(job.partition)
+        return (
+            usage.cores_used + job.cores <= partition.total_cores
+            and usage.gpus_used + job.gpus <= partition.total_gpus
+        )
+
+    def _try_start_jobs(self) -> int:
+        started = 0
+        if self.policy == AllocationPolicy.FIFO:
+            # Strict FIFO per partition: stop at the first job that does not fit.
+            blocked_partitions: set[str] = set()
+            still_pending: List[Job] = []
+            for job in self._pending:
+                if job.partition in blocked_partitions:
+                    still_pending.append(job)
+                    continue
+                if self._fits(job):
+                    self._start(job)
+                    started += 1
+                else:
+                    blocked_partitions.add(job.partition)
+                    still_pending.append(job)
+            self._pending = still_pending
+        else:  # BACKFILL: any pending job that fits may start.
+            still_pending = []
+            for job in self._pending:
+                if self._fits(job):
+                    self._start(job)
+                    started += 1
+                else:
+                    still_pending.append(job)
+            self._pending = still_pending
+        return started
+
+    def _start(self, job: Job) -> None:
+        usage = self._usage[job.partition]
+        usage.cores_used += job.cores
+        usage.gpus_used += job.gpus
+        job.state = JobState.RUNNING
+        job.start_time = self.clock.now()
+        self._running.append(job)
+        heapq.heappush(self._end_events, (job.start_time + job.runtime, job.job_id))
+        self.stats.started += 1
+        self.stats.total_wait_time += job.wait_time or 0.0
+
+    def _release(self, job: Job) -> None:
+        usage = self._usage[job.partition]
+        usage.cores_used -= job.cores
+        usage.gpus_used -= job.gpus
+
+    def _complete(self, job: Job) -> None:
+        self._release(job)
+        self._running.remove(job)
+        job.state = JobState.COMPLETED
+        job.end_time = self.clock.now()
+        self._completed.append(job)
+        self.stats.completed += 1
+        elapsed = (job.end_time or 0.0) - (job.start_time or 0.0)
+        self.stats.core_seconds += job.cores * elapsed
+        self.stats.gpu_seconds += job.gpus * elapsed
+        if job.on_complete is not None:
+            job.on_complete(job)

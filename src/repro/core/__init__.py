@@ -1,0 +1,29 @@
+"""High-level API: configure and run online / offline surrogate-training studies."""
+
+from repro.core.config import OfflineStudyConfig, OnlineStudyConfig
+from repro.core.heat_usecase import HeatSurrogateCase, HeatSurrogateSpec
+from repro.core.metrics import (
+    BufferPopulationSeries,
+    LossHistory,
+    ThroughputMeter,
+    TrainingMetrics,
+    merge_worker_metrics,
+)
+from repro.core.results import OfflineStudyResult, OnlineStudyResult
+from repro.core.study import OfflineStudy, OnlineStudy
+
+__all__ = [
+    "OnlineStudyConfig",
+    "OfflineStudyConfig",
+    "OnlineStudy",
+    "OfflineStudy",
+    "OnlineStudyResult",
+    "OfflineStudyResult",
+    "HeatSurrogateCase",
+    "HeatSurrogateSpec",
+    "ThroughputMeter",
+    "LossHistory",
+    "BufferPopulationSeries",
+    "TrainingMetrics",
+    "merge_worker_metrics",
+]

@@ -1,0 +1,211 @@
+"""Adaptive experimental design (the paper's future-work extension).
+
+The paper notes that because the server drives the training progress, "the
+experimental design could be made adaptive to support active learning
+strategies" and that adaptive training "could increase generalization
+capabilities while requiring fewer simulations to run.  It is only possible in
+the online context the framework provides."
+
+This module implements that extension in its simplest defensible form:
+
+* :class:`AdaptiveSampler` keeps a pool of candidate parameter vectors, scores
+  them with the current surrogate against a cheap reference (the solver on a
+  coarse grid or a provided error oracle), and proposes the next batch of
+  client parameters where the surrogate error is largest (greedy max-error
+  acquisition with an exploration fraction).
+* :func:`run_adaptive_rounds` alternates training rounds and adaptive
+  proposal, mirroring the fused train/steer workflow the related-work section
+  describes (Colmena/DeepDriveMD style).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sampling.base import ParameterSpace, Sampler
+from repro.sampling.monte_carlo import MonteCarloSampler
+from repro.utils.seeding import derive_rng
+
+Array = np.ndarray
+
+#: Callable scoring a batch of parameter vectors: higher = more informative.
+ErrorOracle = Callable[[Array], Array]
+
+
+@dataclass
+class AcquisitionResult:
+    """Outcome of one adaptive proposal round."""
+
+    proposed: Array
+    scores: Array
+    explored: int
+    exploited: int
+
+    @property
+    def num_proposed(self) -> int:
+        return int(self.proposed.shape[0])
+
+
+class AdaptiveSampler(Sampler):
+    """Greedy max-error acquisition over a candidate pool, with exploration.
+
+    Parameters
+    ----------
+    space:
+        Parameter box to sample from.
+    error_oracle:
+        Function returning a per-candidate informativeness score (typically the
+        surrogate's validation error at those parameters).  When ``None`` the
+        sampler degenerates to Monte Carlo (useful before the first round).
+    candidate_pool_size:
+        Number of uniform candidates scored per proposal.
+    exploration_fraction:
+        Fraction of each proposed batch drawn uniformly at random regardless of
+        the scores, to keep covering the space (avoids the catastrophic
+        forgetting the paper worries about when the buffer only sees a narrow
+        region).
+    seed:
+        Seed of the candidate generator and the exploration draws.
+    """
+
+    def __init__(
+        self,
+        space: ParameterSpace,
+        error_oracle: Optional[ErrorOracle] = None,
+        candidate_pool_size: int = 256,
+        exploration_fraction: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(space, seed=seed)
+        if candidate_pool_size <= 0:
+            raise ValueError("candidate_pool_size must be positive")
+        if not 0.0 <= exploration_fraction <= 1.0:
+            raise ValueError("exploration_fraction must be in [0, 1]")
+        self.error_oracle = error_oracle
+        self.candidate_pool_size = int(candidate_pool_size)
+        self.exploration_fraction = float(exploration_fraction)
+        self._uniform = MonteCarloSampler(space, seed=seed)
+        self._rng = derive_rng("adaptive-sampler", seed)
+        self.history: List[AcquisitionResult] = []
+
+    # -------------------------------------------------------------- sampling
+    def _unit_samples(self, count: int) -> Array:  # pragma: no cover - not used
+        raise NotImplementedError("AdaptiveSampler overrides sample() directly")
+
+    def sample(self, count: int) -> Array:
+        """Propose ``count`` parameter vectors for the next client round."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        result = self.propose(count)
+        self._drawn += count
+        return result.proposed
+
+    def propose(self, count: int) -> AcquisitionResult:
+        """Score a candidate pool and pick the next batch of parameters."""
+        if self.error_oracle is None:
+            proposed = self._uniform.sample(count)
+            result = AcquisitionResult(
+                proposed=proposed,
+                scores=np.zeros(count),
+                explored=count,
+                exploited=0,
+            )
+            self.history.append(result)
+            return result
+
+        candidates = self._uniform.sample(self.candidate_pool_size)
+        scores = np.asarray(self.error_oracle(candidates), dtype=float).ravel()
+        if scores.shape[0] != candidates.shape[0]:
+            raise ValueError(
+                f"error oracle returned {scores.shape[0]} scores for "
+                f"{candidates.shape[0]} candidates"
+            )
+
+        num_explore = int(round(count * self.exploration_fraction))
+        num_exploit = count - num_explore
+        order = np.argsort(scores)[::-1]
+        exploit_rows = candidates[order[:num_exploit]]
+        explore_rows = (
+            self._uniform.sample(num_explore) if num_explore > 0 else np.empty((0, self.space.dimension))
+        )
+        proposed = np.vstack([exploit_rows, explore_rows]) if num_explore else exploit_rows
+        # Shuffle so exploited and explored members are interleaved across clients.
+        permutation = self._rng.permutation(proposed.shape[0])
+        result = AcquisitionResult(
+            proposed=proposed[permutation],
+            scores=scores[order[:num_exploit]],
+            explored=num_explore,
+            exploited=num_exploit,
+        )
+        self.history.append(result)
+        return result
+
+
+def surrogate_error_oracle(
+    model,
+    reference: Callable[[Array], Array],
+    time_values: Sequence[float],
+) -> ErrorOracle:
+    """Build an error oracle comparing the surrogate against a cheap reference.
+
+    ``reference(parameters)`` must return the stacked flattened fields of one
+    simulation at ``time_values`` (for instance a coarse-grid solver); the
+    oracle returns the mean squared surrogate error per candidate.
+    """
+
+    def oracle(candidates: Array) -> Array:
+        candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float32))
+        errors = np.empty(candidates.shape[0])
+        for index, row in enumerate(candidates):
+            truth = np.asarray(reference(row), dtype=np.float32)
+            inputs = np.stack(
+                [np.concatenate([row, [np.float32(t)]]) for t in time_values]
+            ).astype(np.float32)
+            predictions = model.forward(inputs)
+            errors[index] = float(np.mean((predictions - truth.reshape(len(time_values), -1)) ** 2))
+        return errors
+
+    return oracle
+
+
+@dataclass
+class AdaptiveRoundReport:
+    """Summary of one train/propose round."""
+
+    round_index: int
+    proposed_parameters: Array
+    mean_candidate_error: float
+    max_candidate_error: float
+
+
+def run_adaptive_rounds(
+    sampler: AdaptiveSampler,
+    train_round: Callable[[Array], None],
+    num_rounds: int,
+    clients_per_round: int,
+) -> List[AdaptiveRoundReport]:
+    """Alternate adaptive proposal and training for ``num_rounds`` rounds.
+
+    ``train_round(parameters)`` runs one online study (or a batch of clients)
+    on the proposed parameters and updates whatever state the error oracle
+    reads (typically the surrogate weights).
+    """
+    if num_rounds <= 0 or clients_per_round <= 0:
+        raise ValueError("num_rounds and clients_per_round must be positive")
+    reports: List[AdaptiveRoundReport] = []
+    for round_index in range(num_rounds):
+        result = sampler.propose(clients_per_round)
+        train_round(result.proposed)
+        scores = result.scores
+        reports.append(
+            AdaptiveRoundReport(
+                round_index=round_index,
+                proposed_parameters=result.proposed,
+                mean_candidate_error=float(scores.mean()) if scores.size else 0.0,
+                max_candidate_error=float(scores.max()) if scores.size else 0.0,
+            )
+        )
+    return reports

@@ -1,0 +1,131 @@
+"""Study-level configuration objects."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Tuple
+
+from repro.server.trainer import TrainerConfig
+from repro.utils.exceptions import ConfigurationError
+
+
+@dataclass
+class OnlineStudyConfig:
+    """Configuration of an online (streamed) training study.
+
+    The defaults are a scaled-down version of the paper's Section 4.3-4.5
+    setup: clients submitted in series, per-rank Reservoir buffers with a
+    capacity of roughly a quarter of the unique samples, batch size 10,
+    Adam(1e-3) with the learning rate halved on a fixed sample schedule.
+    """
+
+    # Ensemble.
+    num_simulations: int = 50
+    series_sizes: Optional[Sequence[int]] = None
+    max_concurrent_clients: int = 8
+    inter_series_delay: float = 0.0
+    client_step_delay: float = 0.0
+    sampler: str = "monte_carlo"
+
+    # Server.
+    num_ranks: int = 1
+    buffer_kind: str = "reservoir"
+    buffer_capacity: int = 250
+    buffer_threshold: int = 50
+    batch_size: int = 10
+    validation_interval: int = 100
+    max_batches: Optional[int] = None
+    learning_rate: float = 1e-3
+    lr_step_samples: int = 10_000
+    lr_gamma: float = 0.5
+    lr_min: float = 2.5e-4
+
+    # Misc.
+    batch_compute_delay: float = 0.0
+    seed: int = 0
+    transport_queue_size: int = 100_000
+    checkpoint_dir: Optional[Path] = None
+    checkpoint_interval: int = 0
+    track_occurrences: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_simulations <= 0:
+            raise ConfigurationError("num_simulations must be positive")
+        if self.num_ranks <= 0:
+            raise ConfigurationError("num_ranks must be positive")
+        if self.buffer_capacity <= 0:
+            raise ConfigurationError("buffer_capacity must be positive")
+        if self.buffer_threshold < 0 or self.buffer_threshold > self.buffer_capacity:
+            raise ConfigurationError("buffer_threshold must be in [0, capacity]")
+        if self.batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+
+    @property
+    def lr_step_batches(self) -> int:
+        """Learning-rate decay period in batches per rank.
+
+        The paper keeps the decay tied to the number of *samples* seen, so with
+        more GPUs the per-rank batch period shrinks: 1 000/500/250 batches for
+        1/2/4 GPUs at batch size 10 and a 10 000-sample period.
+        """
+        per_batch = self.batch_size * self.num_ranks
+        return max(1, self.lr_step_samples // per_batch)
+
+    def trainer_config(self) -> TrainerConfig:
+        """Build the per-rank trainer configuration."""
+        return TrainerConfig(
+            batch_size=self.batch_size,
+            validation_interval=self.validation_interval,
+            max_batches=self.max_batches,
+            track_occurrences=self.track_occurrences,
+            batch_compute_delay=self.batch_compute_delay,
+        )
+
+
+@dataclass
+class OfflineStudyConfig:
+    """Configuration of the offline (file-based, multi-epoch) baseline."""
+
+    num_simulations: int = 50
+    num_epochs: int = 1
+    num_ranks: int = 1
+    batch_size: int = 10
+    num_workers: int = 0
+    learning_rate: float = 1e-3
+    lr_step_samples: int = 10_000
+    lr_gamma: float = 0.5
+    lr_min: float = 2.5e-4
+    validation_interval: int = 100
+    max_batches: Optional[int] = None
+    sampler: str = "monte_carlo"
+    generation_workers: int = 4
+    io_delay_per_sample: float = 0.0
+    batch_compute_delay: float = 0.0
+    seed: int = 0
+    store_dir: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        if self.num_simulations <= 0:
+            raise ConfigurationError("num_simulations must be positive")
+        if self.num_epochs <= 0:
+            raise ConfigurationError("num_epochs must be positive")
+        if self.num_ranks <= 0:
+            raise ConfigurationError("num_ranks must be positive")
+
+    @property
+    def lr_step_batches(self) -> int:
+        per_batch = self.batch_size * self.num_ranks
+        return max(1, self.lr_step_samples // per_batch)
+
+
+@dataclass
+class SurrogateArchitecture:
+    """Architecture of the surrogate MLP (paper: two hidden layers of 256)."""
+
+    hidden_sizes: Tuple[int, ...] = (256, 256)
+    activation: str = "relu"
+
+    def __post_init__(self) -> None:
+        if not self.hidden_sizes:
+            raise ConfigurationError("the surrogate needs at least one hidden layer")

@@ -1,0 +1,168 @@
+"""The paper's heat-equation use case, wired end to end.
+
+:class:`HeatSurrogateCase` bundles everything the studies need for the paper's
+experiments: the solver configuration, the parameter space and sampler, the
+surrogate architecture, validation-set generation and offline dataset
+generation.  Other use cases only need to provide the same small interface
+(solver factory, model factory, parameter sampler) to reuse the study drivers.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import SurrogateArchitecture
+from repro.nn.containers import Sequential
+from repro.nn.mlp import MLPConfig, build_mlp
+from repro.offline.storage import SimulationStore
+from repro.sampling import get_sampler
+from repro.sampling.base import HEAT_PARAMETER_SPACE, ParameterSpace
+from repro.server.validation import ValidationSet
+from repro.solvers.heat2d import HeatEquationConfig, HeatEquationSolver, HeatParameters
+
+Array = np.ndarray
+
+
+@dataclass
+class HeatSurrogateSpec:
+    """Scaled experiment description (grid size, steps, architecture)."""
+
+    solver: HeatEquationConfig = field(default_factory=lambda: HeatEquationConfig(nx=16, ny=16, num_steps=20))
+    architecture: SurrogateArchitecture = field(default_factory=lambda: SurrogateArchitecture(hidden_sizes=(64, 64)))
+    parameter_space: ParameterSpace = field(default_factory=lambda: HEAT_PARAMETER_SPACE)
+    sampler: str = "monte_carlo"
+    seed: int = 0
+
+    @staticmethod
+    def paper_scale() -> "HeatSurrogateSpec":
+        """The configuration actually used in the paper (too large for tests)."""
+        return HeatSurrogateSpec(
+            solver=HeatEquationConfig(nx=1000, ny=1000, num_steps=100),
+            architecture=SurrogateArchitecture(hidden_sizes=(256, 256)),
+        )
+
+
+class HeatSurrogateCase:
+    """Factories and data generation for the heat-equation surrogate study."""
+
+    def __init__(self, spec: HeatSurrogateSpec | None = None) -> None:
+        self.spec = spec or HeatSurrogateSpec()
+        self._sampler = get_sampler(self.spec.sampler, self.spec.parameter_space, seed=self.spec.seed)
+
+    # ------------------------------------------------------------- factories
+    @property
+    def solver_config(self) -> HeatEquationConfig:
+        return self.spec.solver
+
+    @property
+    def field_size(self) -> int:
+        """Output dimension of the surrogate (flattened grid size)."""
+        return self.spec.solver.num_points
+
+    @property
+    def input_size(self) -> int:
+        """Input dimension: 5 temperatures + time."""
+        return self.spec.parameter_space.dimension + 1
+
+    def solver_factory(self) -> HeatEquationSolver:
+        """A fresh sequential solver instance (one per client)."""
+        return HeatEquationSolver(self.spec.solver)
+
+    def model_factory(self) -> Sequential:
+        """A fresh surrogate replica (same seed => identical weights)."""
+        config = MLPConfig(
+            in_features=self.input_size,
+            hidden_sizes=tuple(self.spec.architecture.hidden_sizes),
+            out_features=self.field_size,
+            activation=self.spec.architecture.activation,
+            seed=self.spec.seed,
+            dtype=np.float32,
+        )
+        return build_mlp(config)
+
+    # -------------------------------------------------------------- sampling
+    def sample_parameters(self, count: int) -> Array:
+        """Draw ``count`` parameter vectors X from the experimental design."""
+        return self._sampler.sample(count)
+
+    def parameters_to_solver(self, parameters: Array) -> HeatParameters:
+        """Convert a raw parameter vector into the solver's typed parameters."""
+        return HeatParameters.from_array(np.asarray(parameters))
+
+    # --------------------------------------------------------------- datasets
+    def run_simulation(self, parameters: Array) -> Tuple[Array, Array]:
+        """Run one simulation; returns (times, stacked flattened fields)."""
+        solver = self.solver_factory()
+        series = solver.run(self.parameters_to_solver(parameters))
+        fields = series.stack().reshape(len(series), -1).astype(np.float32)
+        return series.times, fields
+
+    def generate_validation_set(self, num_simulations: int = 10, seed_offset: int = 10_000) -> ValidationSet:
+        """Generate held-out simulations never seen during training.
+
+        The validation design uses a sampler stream shifted by ``seed_offset``
+        so its parameters cannot collide with the training ensemble's.
+        """
+        sampler = get_sampler(
+            self.spec.sampler, self.spec.parameter_space, seed=self.spec.seed + seed_offset
+        )
+        parameter_vectors = sampler.sample(num_simulations)
+        times: List[Array] = []
+        fields: List[Array] = []
+        for row in parameter_vectors:
+            sim_times, sim_fields = self.run_simulation(row)
+            times.append(sim_times)
+            fields.append(sim_fields)
+        return ValidationSet.from_simulations(list(parameter_vectors), times, fields)
+
+    def generate_store(
+        self,
+        directory: str | Path,
+        num_simulations: int,
+        parameter_vectors: Sequence[Array] | None = None,
+        workers: int = 4,
+    ) -> SimulationStore:
+        """Generate an offline dataset on disk (the paper's offline baseline data).
+
+        The generation is parallelised over a thread pool, standing in for the
+        paper's observation that the framework's client parallelism is also
+        useful to produce offline datasets quickly.
+        """
+        store = SimulationStore(directory)
+        if parameter_vectors is None:
+            parameter_vectors = self.sample_parameters(num_simulations)
+        parameter_vectors = [np.asarray(row) for row in parameter_vectors][:num_simulations]
+
+        def produce(item: Tuple[int, Array]) -> Tuple[int, Array, Array, Array]:
+            index, row = item
+            times, fields = self.run_simulation(row)
+            return index, row, times, fields
+
+        if workers <= 1:
+            produced = [produce(item) for item in enumerate(parameter_vectors)]
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                produced = list(pool.map(produce, enumerate(parameter_vectors)))
+        # Store in deterministic order regardless of thread completion order.
+        for index, row, times, fields in sorted(produced, key=lambda item: item[0]):
+            store.add_simulation(index, row.tolist(), times.tolist(), fields)
+        return store
+
+    # ------------------------------------------------------------ description
+    def describe(self) -> dict:
+        """Human-readable summary used by the experiment reports."""
+        solver = self.spec.solver
+        return {
+            "grid": f"{solver.ny}x{solver.nx}",
+            "num_steps": solver.num_steps,
+            "field_size": self.field_size,
+            "hidden_sizes": tuple(self.spec.architecture.hidden_sizes),
+            "parameter_space": [self.spec.parameter_space.lower, self.spec.parameter_space.upper],
+            "sampler": self.spec.sampler,
+            "seed": self.spec.seed,
+        }

@@ -1,0 +1,185 @@
+"""Metrics recorded during training: throughput, losses, buffer population.
+
+The paper's Figure 2 plots the training throughput (samples/second processed
+by the GPU, computed over 10 successive batches every 10 batches) together
+with the buffer population; Figures 4-6 plot training and validation losses.
+These classes record exactly those series.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class ThroughputMeter:
+    """Sliding-window throughput of the training loop.
+
+    Call :meth:`record_batch` after each trained batch; every ``window``
+    batches the meter computes the samples/second achieved over the window and
+    appends it to the series (mirroring the paper's measurement protocol).
+    """
+
+    window: int = 10
+    clock: Optional[object] = None
+    times: List[float] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    _window_start: Optional[float] = None
+    _batches_in_window: int = 0
+    _samples_in_window: int = 0
+    total_samples: int = 0
+    total_batches: int = 0
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+
+    def _now(self) -> float:
+        if self.clock is not None:
+            return self.clock.now()  # type: ignore[attr-defined]
+        return time.monotonic()
+
+    def record_batch(self, batch_size: int) -> Optional[float]:
+        """Record one trained batch; returns the throughput if a window closed."""
+        now = self._now()
+        if self.start_time is None:
+            self.start_time = now
+        if self._window_start is None:
+            self._window_start = now
+        self._batches_in_window += 1
+        self._samples_in_window += int(batch_size)
+        self.total_batches += 1
+        self.total_samples += int(batch_size)
+        self.end_time = now
+        if self._batches_in_window >= self.window:
+            elapsed = max(now - self._window_start, 1e-9)
+            throughput = self._samples_in_window / elapsed
+            self.times.append(now)
+            self.values.append(throughput)
+            self._window_start = now
+            self._batches_in_window = 0
+            self._samples_in_window = 0
+            return throughput
+        return None
+
+    def mean_throughput(self) -> float:
+        """Overall mean throughput (total samples / total wall time)."""
+        if self.start_time is None or self.end_time is None or self.end_time <= self.start_time:
+            return 0.0
+        return self.total_samples / (self.end_time - self.start_time)
+
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, samples/sec) arrays of the windowed measurements."""
+        return np.asarray(self.times), np.asarray(self.values)
+
+
+@dataclass
+class LossHistory:
+    """Training and validation loss curves indexed by batch count and samples seen."""
+
+    train_batches: List[int] = field(default_factory=list)
+    train_samples: List[int] = field(default_factory=list)
+    train_losses: List[float] = field(default_factory=list)
+    val_batches: List[int] = field(default_factory=list)
+    val_samples: List[int] = field(default_factory=list)
+    val_losses: List[float] = field(default_factory=list)
+
+    def record_train(self, batch_index: int, samples_seen: int, loss: float) -> None:
+        self.train_batches.append(int(batch_index))
+        self.train_samples.append(int(samples_seen))
+        self.train_losses.append(float(loss))
+
+    def record_validation(self, batch_index: int, samples_seen: int, loss: float) -> None:
+        self.val_batches.append(int(batch_index))
+        self.val_samples.append(int(samples_seen))
+        self.val_losses.append(float(loss))
+
+    @property
+    def best_validation_loss(self) -> float:
+        """Minimum validation loss reached ("Min. MSE" column of Table 1)."""
+        return float(np.min(self.val_losses)) if self.val_losses else float("nan")
+
+    @property
+    def final_validation_loss(self) -> float:
+        return float(self.val_losses[-1]) if self.val_losses else float("nan")
+
+    @property
+    def final_training_loss(self) -> float:
+        return float(self.train_losses[-1]) if self.train_losses else float("nan")
+
+    def smoothed_train_losses(self, window: int = 20) -> np.ndarray:
+        """Moving average of the training loss (for plotting/regression checks)."""
+        losses = np.asarray(self.train_losses, dtype=float)
+        if losses.size == 0 or window <= 1:
+            return losses
+        kernel = np.ones(min(window, losses.size)) / min(window, losses.size)
+        return np.convolve(losses, kernel, mode="valid")
+
+
+@dataclass
+class BufferPopulationSeries:
+    """Time series of a buffer's population (and unseen count for the Reservoir)."""
+
+    times: List[float] = field(default_factory=list)
+    sizes: List[int] = field(default_factory=list)
+    unseen: List[int] = field(default_factory=list)
+
+    def record(self, timestamp: float, size: int, unseen: int | None = None) -> None:
+        self.times.append(float(timestamp))
+        self.sizes.append(int(size))
+        self.unseen.append(int(unseen if unseen is not None else size))
+
+    def max_population(self) -> int:
+        return max(self.sizes, default=0)
+
+    def mean_population(self) -> float:
+        return float(np.mean(self.sizes)) if self.sizes else 0.0
+
+
+@dataclass
+class TrainingMetrics:
+    """Everything recorded by one training worker (one server rank)."""
+
+    rank: int = 0
+    throughput: ThroughputMeter = field(default_factory=ThroughputMeter)
+    losses: LossHistory = field(default_factory=LossHistory)
+    buffer_population: BufferPopulationSeries = field(default_factory=BufferPopulationSeries)
+    occurrence_histogram: Dict[int, int] = field(default_factory=dict)
+    batches_trained: int = 0
+    samples_trained: int = 0
+    wall_time: float = 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar summary used by the experiment tables."""
+        return {
+            "rank": self.rank,
+            "batches_trained": self.batches_trained,
+            "samples_trained": self.samples_trained,
+            "mean_throughput": self.throughput.mean_throughput(),
+            "best_val_mse": self.losses.best_validation_loss,
+            "final_val_mse": self.losses.final_validation_loss,
+            "final_train_loss": self.losses.final_training_loss,
+            "wall_time": self.wall_time,
+        }
+
+
+def merge_worker_metrics(per_rank: List[TrainingMetrics]) -> Dict[str, float]:
+    """Aggregate per-rank metrics into study-level numbers.
+
+    Throughput sums across ranks (each rank feeds its own GPU); losses come
+    from rank 0 (replicas are identical after all-reduce); batch counts sum.
+    """
+    if not per_rank:
+        return {}
+    rank0 = per_rank[0]
+    return {
+        "num_ranks": float(len(per_rank)),
+        "total_batches": float(sum(m.batches_trained for m in per_rank)),
+        "total_samples": float(sum(m.samples_trained for m in per_rank)),
+        "mean_throughput": float(sum(m.throughput.mean_throughput() for m in per_rank)),
+        "best_val_mse": rank0.losses.best_validation_loss,
+        "final_val_mse": rank0.losses.final_validation_loss,
+        "wall_time": max(m.wall_time for m in per_rank),
+    }

@@ -1,0 +1,211 @@
+"""Study drivers: run a full online or offline training campaign.
+
+``OnlineStudy`` reproduces the paper's workflow end to end: the launcher runs
+the ensemble of solver clients (in series, with bounded concurrency), each
+client streams its time steps to the training server, and the server's
+aggregator/training threads train the surrogate concurrently with data
+generation.  ``OfflineStudy`` is the baseline: generate (or reuse) a file
+dataset, then train epoch by epoch from disk.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.client.simulation_client import SimulationClient
+from repro.core.config import OfflineStudyConfig, OnlineStudyConfig
+from repro.core.heat_usecase import HeatSurrogateCase
+from repro.core.results import OfflineStudyResult, OnlineStudyResult
+from repro.launcher.launcher import ClientSpec, Launcher, LauncherConfig
+from repro.offline.dataset import SimulationDataset
+from repro.offline.storage import SimulationStore
+from repro.offline.trainer import OfflineTrainer, OfflineTrainingConfig
+from repro.parallel.transport import MessageRouter
+from repro.server.server import ServerConfig, TrainingServer
+from repro.server.validation import ValidationSet
+
+Array = np.ndarray
+
+
+class OnlineStudy:
+    """Online (streaming) surrogate-training study for a use case."""
+
+    def __init__(
+        self,
+        case: HeatSurrogateCase,
+        config: OnlineStudyConfig,
+        validation: Optional[ValidationSet] = None,
+    ) -> None:
+        self.case = case
+        self.config = config
+        self.validation = validation
+
+    # ------------------------------------------------------------------ build
+    def _build_specs(self) -> list[ClientSpec]:
+        parameters = self.case.sample_parameters(self.config.num_simulations)
+        return [
+            ClientSpec(
+                client_id=index,
+                parameters=np.asarray(row),
+                solver_params=self.case.parameters_to_solver(row),
+            )
+            for index, row in enumerate(parameters)
+        ]
+
+    def _build_server(self, router: MessageRouter) -> TrainingServer:
+        cfg = self.config
+        server_config = ServerConfig(
+            num_ranks=cfg.num_ranks,
+            buffer_kind=cfg.buffer_kind,
+            buffer_capacity=cfg.buffer_capacity,
+            buffer_threshold=cfg.buffer_threshold,
+            expected_clients=cfg.num_simulations,
+            trainer=cfg.trainer_config(),
+            learning_rate=cfg.learning_rate,
+            lr_step_batches=cfg.lr_step_batches,
+            lr_gamma=cfg.lr_gamma,
+            lr_min=cfg.lr_min,
+            seed=cfg.seed,
+            checkpoint_dir=cfg.checkpoint_dir,
+            checkpoint_interval=cfg.checkpoint_interval,
+        )
+        return TrainingServer(
+            config=server_config,
+            model_factory=self.case.model_factory,
+            router=router,
+            validation=self.validation,
+        )
+
+    def _build_launcher(self, router: MessageRouter, specs: Sequence[ClientSpec]) -> Launcher:
+        cfg = self.config
+        solver_steps = self.case.solver_config.num_steps
+
+        def client_factory(spec: ClientSpec) -> SimulationClient:
+            return SimulationClient(
+                client_id=spec.client_id,
+                parameters=tuple(float(p) for p in np.asarray(spec.parameters).ravel()),
+                solver=self.case.solver_factory(),
+                router=router,
+                num_time_steps=solver_steps,
+                step_delay=cfg.client_step_delay,
+            )
+
+        launcher_config = LauncherConfig(
+            series_sizes=cfg.series_sizes,
+            max_concurrent_clients=cfg.max_concurrent_clients,
+            inter_series_delay=cfg.inter_series_delay,
+        )
+        return Launcher(client_factory, specs, launcher_config)
+
+    # -------------------------------------------------------------------- run
+    def run(self) -> OnlineStudyResult:
+        """Run the full online study (blocking) and return its result."""
+        cfg = self.config
+        router = MessageRouter(cfg.num_ranks, max_queue_size=cfg.transport_queue_size)
+        specs = self._build_specs()
+        server = self._build_server(router)
+        launcher = self._build_launcher(router, specs)
+
+        start = time.monotonic()
+        launcher.start()
+        server_result = server.run()
+        launcher_report = launcher.join()
+        elapsed = time.monotonic() - start
+        router.close()
+
+        unique_samples = cfg.num_simulations * self.case.solver_config.num_steps
+        dataset_bytes = unique_samples * self.case.field_size * 4
+        return OnlineStudyResult(
+            server=server_result,
+            launcher=launcher_report,
+            total_elapsed=elapsed,
+            unique_samples=unique_samples,
+            dataset_bytes=dataset_bytes,
+            config_summary={
+                "buffer_kind": cfg.buffer_kind,
+                "num_ranks": cfg.num_ranks,
+                "num_simulations": cfg.num_simulations,
+                "batch_size": cfg.batch_size,
+                **self.case.describe(),
+            },
+        )
+
+
+class OfflineStudy:
+    """Offline baseline: generate a dataset on disk, then train for several epochs."""
+
+    def __init__(
+        self,
+        case: HeatSurrogateCase,
+        config: OfflineStudyConfig,
+        validation: Optional[ValidationSet] = None,
+        store: Optional[SimulationStore] = None,
+    ) -> None:
+        self.case = case
+        self.config = config
+        self.validation = validation
+        self._store = store
+
+    def generate(self) -> tuple[SimulationStore, float]:
+        """Generate (or reuse) the on-disk dataset; returns (store, seconds)."""
+        if self._store is not None:
+            return self._store, 0.0
+        directory = self.config.store_dir or Path(tempfile.mkdtemp(prefix="repro-offline-"))
+        start = time.monotonic()
+        store = self.case.generate_store(
+            directory,
+            self.config.num_simulations,
+            workers=self.config.generation_workers,
+        )
+        elapsed = time.monotonic() - start
+        self._store = store
+        return store, elapsed
+
+    def run(self) -> OfflineStudyResult:
+        """Generate the dataset if needed, train, and return the result."""
+        cfg = self.config
+        store, generation_elapsed = self.generate()
+        dataset = SimulationDataset(store)
+        trainer = OfflineTrainer(
+            dataset=dataset,
+            config=OfflineTrainingConfig(
+                num_epochs=cfg.num_epochs,
+                batch_size=cfg.batch_size,
+                num_ranks=cfg.num_ranks,
+                num_workers=cfg.num_workers,
+                learning_rate=cfg.learning_rate,
+                lr_step_batches=cfg.lr_step_batches,
+                lr_gamma=cfg.lr_gamma,
+                lr_min=cfg.lr_min,
+                validation_interval=cfg.validation_interval,
+                max_batches=cfg.max_batches,
+                seed=cfg.seed,
+                io_delay_per_sample=cfg.io_delay_per_sample,
+                batch_compute_delay=cfg.batch_compute_delay,
+            ),
+            model_factory=self.case.model_factory,
+            validation=self.validation,
+        )
+        start = time.monotonic()
+        training_result = trainer.run()
+        training_elapsed = time.monotonic() - start
+        return OfflineStudyResult(
+            training=training_result,
+            generation_elapsed=generation_elapsed,
+            training_elapsed=training_elapsed,
+            unique_samples=len(dataset),
+            dataset_bytes=store.total_bytes,
+            store_dir=str(store.directory),
+            config_summary={
+                "num_epochs": cfg.num_epochs,
+                "num_ranks": cfg.num_ranks,
+                "num_simulations": cfg.num_simulations,
+                "batch_size": cfg.batch_size,
+                **self.case.describe(),
+            },
+        )

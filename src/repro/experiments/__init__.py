@@ -1,0 +1,51 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver exposes a ``run_*`` function returning plain dictionaries /
+dataclasses with the same rows or series the paper reports, at a scaled-down
+configuration that runs on a single node.  The benchmarks in ``benchmarks/``
+call these drivers and print the resulting tables.
+"""
+
+from repro.experiments.common import (
+    ExperimentScale,
+    build_case,
+    build_validation,
+    default_scale,
+    run_offline_baseline,
+    run_online_with_buffer,
+)
+from repro.experiments.fig2_throughput import Fig2Result, run_fig2_throughput
+from repro.experiments.fig3_occurrences import Fig3Result, run_fig3_occurrences
+from repro.experiments.fig4_quality import Fig4Result, run_fig4_quality
+from repro.experiments.fig5_multigpu import Fig5Result, run_fig5_multigpu
+from repro.experiments.fig6_online_vs_offline import Fig6Result, run_fig6_online_vs_offline
+from repro.experiments.table1 import Table1Row, run_table1
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.appendix_residency import ResidencyResult, run_residency_experiment
+from repro.experiments.reporting import format_rows
+
+__all__ = [
+    "ExperimentScale",
+    "default_scale",
+    "build_case",
+    "build_validation",
+    "run_online_with_buffer",
+    "run_offline_baseline",
+    "run_fig2_throughput",
+    "Fig2Result",
+    "run_fig3_occurrences",
+    "Fig3Result",
+    "run_fig4_quality",
+    "Fig4Result",
+    "run_fig5_multigpu",
+    "Fig5Result",
+    "run_fig6_online_vs_offline",
+    "Fig6Result",
+    "run_table1",
+    "Table1Row",
+    "run_table2",
+    "Table2Result",
+    "run_residency_experiment",
+    "ResidencyResult",
+    "format_rows",
+]

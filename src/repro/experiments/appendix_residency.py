@@ -1,0 +1,57 @@
+"""Appendix A: expected residency time of a sample in the Reservoir.
+
+The paper proves that with random-overwrite insertion into a container of
+capacity ``n``, the expected number of insertions an item survives is ``n-1``.
+The experiment measures it empirically for several capacities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.buffers.stats import expected_residency_time, measure_residency_times
+
+
+@dataclass
+class ResidencyResult:
+    """Measured vs analytic residency times."""
+
+    capacities: Sequence[int]
+    measured_means: Dict[int, float] = field(default_factory=dict)
+    analytic_means: Dict[int, float] = field(default_factory=dict)
+    relative_errors: Dict[int, float] = field(default_factory=dict)
+
+    def max_relative_error(self) -> float:
+        return max(self.relative_errors.values(), default=float("nan"))
+
+    def summary_rows(self) -> list[dict]:
+        return [
+            {
+                "capacity": capacity,
+                "measured_mean": self.measured_means[capacity],
+                "analytic_mean": self.analytic_means[capacity],
+                "relative_error": self.relative_errors[capacity],
+            }
+            for capacity in self.capacities
+        ]
+
+
+def run_residency_experiment(
+    capacities: Sequence[int] = (16, 64, 256),
+    insertions_per_capacity: int = 200,
+    seed: int = 0,
+) -> ResidencyResult:
+    """Measure mean residency for each capacity and compare with ``n - 1``."""
+    result = ResidencyResult(capacities=tuple(capacities))
+    for capacity in capacities:
+        num_insertions = capacity * insertions_per_capacity
+        residencies = measure_residency_times(capacity, num_insertions, seed=seed)
+        measured = float(np.mean(residencies)) if residencies.size else float("nan")
+        analytic = expected_residency_time(capacity)
+        result.measured_means[capacity] = measured
+        result.analytic_means[capacity] = analytic
+        result.relative_errors[capacity] = abs(measured - analytic) / analytic
+    return result

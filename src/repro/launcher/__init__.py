@@ -1,0 +1,5 @@
+"""Launcher: orchestrates client execution, series submission and restarts."""
+
+from repro.launcher.launcher import ClientSpec, Launcher, LauncherConfig, LauncherReport
+
+__all__ = ["Launcher", "LauncherConfig", "ClientSpec", "LauncherReport"]

@@ -1,0 +1,192 @@
+"""The launcher: runs the ensemble of simulation clients.
+
+The paper's launcher interacts with the batch scheduler to start client jobs,
+monitor them, kill unresponsive ones and restart failed ones.  Here client
+"jobs" are Python callables executed on a bounded thread pool; the launcher
+preserves the orchestration logic that matters for the experiments:
+
+* **series submission**: clients are started in successive series (the paper
+  uses 100/100/50 concurrent simulations), the next series starting only once
+  the previous one completed — the cause of the production stalls visible in
+  Figure 2;
+* **bounded concurrency** inside a series (the "c concurrent clients" of the
+  inter-simulation bias discussion);
+* **fault tolerance**: a client raising an exception is restarted (up to a
+  configurable number of attempts); restarted clients resend data which the
+  server deduplicates through its message log.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.client.simulation_client import SimulationClient, SimulationFailure
+from repro.utils.logging import get_logger
+
+logger = get_logger("launcher")
+
+Array = np.ndarray
+
+
+@dataclass
+class ClientSpec:
+    """Description of one ensemble member to run."""
+
+    client_id: int
+    parameters: Array
+    solver_params: object | None = None
+    fail_at_step: Optional[int] = None
+
+
+@dataclass
+class LauncherConfig:
+    """Launcher behaviour.
+
+    Attributes
+    ----------
+    series_sizes:
+        Number of clients in each successive series; the remaining clients (if
+        the sizes do not cover all specs) form a final series.  ``None`` runs
+        everything as a single series.
+    max_concurrent_clients:
+        Thread-pool width: how many clients execute simultaneously inside a
+        series (models the finite CPU partition).
+    inter_series_delay:
+        Seconds to wait between the end of a series and the start of the next,
+        reproducing the scheduling gap observed on the real machine.
+    max_restarts:
+        How many times a failing client is restarted before giving up.
+    """
+
+    series_sizes: Optional[Sequence[int]] = None
+    max_concurrent_clients: int = 8
+    inter_series_delay: float = 0.0
+    max_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_clients <= 0:
+            raise ValueError("max_concurrent_clients must be positive")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be non-negative")
+
+
+@dataclass
+class LauncherReport:
+    """Outcome of the ensemble execution."""
+
+    clients_completed: int = 0
+    clients_failed: int = 0
+    restarts: int = 0
+    series_boundaries: List[float] = field(default_factory=list)
+    elapsed: float = 0.0
+    per_client_steps: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def total_steps_sent(self) -> int:
+        return int(sum(self.per_client_steps.values()))
+
+
+class Launcher:
+    """Run all ensemble members through a client factory, series by series."""
+
+    def __init__(
+        self,
+        client_factory: Callable[[ClientSpec], SimulationClient],
+        specs: Sequence[ClientSpec],
+        config: LauncherConfig | None = None,
+    ) -> None:
+        self.client_factory = client_factory
+        self.specs = list(specs)
+        self.config = config or LauncherConfig()
+        self.report = LauncherReport()
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # ----------------------------------------------------------------- series
+    def _split_series(self) -> List[List[ClientSpec]]:
+        sizes = self.config.series_sizes
+        if not sizes:
+            return [self.specs]
+        series: List[List[ClientSpec]] = []
+        cursor = 0
+        for size in sizes:
+            if cursor >= len(self.specs):
+                break
+            series.append(self.specs[cursor : cursor + size])
+            cursor += size
+        if cursor < len(self.specs):
+            series.append(self.specs[cursor:])
+        return series
+
+    # ------------------------------------------------------------------- run
+    def _run_client(self, spec: ClientSpec) -> int:
+        """Run one client with restart-on-failure; returns steps sent."""
+        client = self.client_factory(spec)
+        if spec.fail_at_step is not None:
+            client.fail_at_step = spec.fail_at_step
+        attempts = 0
+        total_steps = 0
+        while True:
+            try:
+                result = client.run(solver_params=spec.solver_params)
+                total_steps += result.steps_sent
+                return total_steps
+            except SimulationFailure as exc:
+                attempts += 1
+                self.report.restarts += 1
+                logger.warning("client %d failed (%s), restart %d", spec.client_id, exc, attempts)
+                if attempts > self.config.max_restarts:
+                    raise
+                client.prepare_restart()
+
+    def run(self) -> LauncherReport:
+        """Execute every series and return the report (blocking)."""
+        start = time.monotonic()
+        series = self._split_series()
+        for index, group in enumerate(series):
+            if index > 0 and self.config.inter_series_delay > 0:
+                time.sleep(self.config.inter_series_delay)
+            self.report.series_boundaries.append(time.monotonic() - start)
+            with ThreadPoolExecutor(
+                max_workers=self.config.max_concurrent_clients,
+                thread_name_prefix=f"client-series-{index}",
+            ) as pool:
+                futures = {pool.submit(self._run_client, spec): spec for spec in group}
+                for future in as_completed(futures):
+                    spec = futures[future]
+                    try:
+                        steps = future.result()
+                    except Exception:  # noqa: BLE001 - client exhausted its restarts
+                        self.report.clients_failed += 1
+                        logger.error("client %d permanently failed", spec.client_id)
+                    else:
+                        self.report.clients_completed += 1
+                        self.report.per_client_steps[spec.client_id] = steps
+        self.report.elapsed = time.monotonic() - start
+        return self.report
+
+    # ---------------------------------------------------------- async control
+    def start(self) -> None:
+        """Run the ensemble on a background thread (non-blocking)."""
+        if self._started:
+            raise RuntimeError("launcher already started")
+        self._started = True
+        self._thread = threading.Thread(target=self.run, name="launcher", daemon=True)
+        self._thread.start()
+
+    def join(self, timeout: Optional[float] = None) -> LauncherReport:
+        """Wait for a background run started with :meth:`start`."""
+        if self._thread is None:
+            raise RuntimeError("launcher was not started")
+        self._thread.join(timeout=timeout)
+        return self.report
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()

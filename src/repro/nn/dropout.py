@@ -1,0 +1,44 @@
+"""Inverted dropout layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.utils.seeding import derive_rng
+
+Array = np.ndarray
+
+
+class Dropout(Module):
+    """Inverted dropout: active in training mode, identity in eval mode.
+
+    Parameters
+    ----------
+    p:
+        Probability of zeroing an activation, in ``[0, 1)``.
+    rng:
+        Random generator for the masks (seeded by default for reproducibility).
+    """
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = rng if rng is not None else derive_rng("dropout", p)
+        self._mask: Array | None = None
+
+    def forward(self, inputs: Array) -> Array:
+        inputs = np.asarray(inputs)
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.p
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: Array) -> Array:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask

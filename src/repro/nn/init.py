@@ -1,0 +1,84 @@
+"""Weight initialisation schemes.
+
+The paper's surrogate is an MLP with ReLU activations; He (Kaiming)
+initialisation is the default, with Xavier/LeCun provided for other
+activations.  All initialisers take an explicit :class:`numpy.random.Generator`
+so that network initialisation is seeded, as required for the paper's
+reproducibility guarantees.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+Initializer = Callable[[Tuple[int, int], np.random.Generator], Array]
+
+
+def _fans(shape: Tuple[int, int]) -> Tuple[int, int]:
+    fan_in, fan_out = int(shape[0]), int(shape[1])
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: Tuple[int, int], rng: np.random.Generator) -> Array:
+    """Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_normal(shape: Tuple[int, int], rng: np.random.Generator) -> Array:
+    """Glorot/Xavier normal: N(0, 2 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    std = math.sqrt(2.0 / (fan_in + fan_out))
+    return rng.normal(0.0, std, size=shape)
+
+
+def he_uniform(shape: Tuple[int, int], rng: np.random.Generator) -> Array:
+    """He/Kaiming uniform: U(-a, a) with a = sqrt(6 / fan_in) (ReLU gain)."""
+    fan_in, _ = _fans(shape)
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def he_normal(shape: Tuple[int, int], rng: np.random.Generator) -> Array:
+    """He/Kaiming normal: N(0, 2 / fan_in) (ReLU gain)."""
+    fan_in, _ = _fans(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def lecun_normal(shape: Tuple[int, int], rng: np.random.Generator) -> Array:
+    """LeCun normal: N(0, 1 / fan_in)."""
+    fan_in, _ = _fans(shape)
+    std = math.sqrt(1.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+def zeros_init(shape: Tuple[int, int], rng: np.random.Generator) -> Array:
+    """All-zero initialisation (used for biases)."""
+    del rng
+    return np.zeros(shape)
+
+
+_REGISTRY = {
+    "xavier_uniform": xavier_uniform,
+    "xavier_normal": xavier_normal,
+    "he_uniform": he_uniform,
+    "he_normal": he_normal,
+    "lecun_normal": lecun_normal,
+    "zeros": zeros_init,
+}
+
+
+def get_initializer(name: str) -> Initializer:
+    """Look up an initialiser by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown initializer {name!r}; available: {sorted(_REGISTRY)}"
+        ) from exc

@@ -1,0 +1,193 @@
+"""Base building blocks of the NumPy neural-network library.
+
+The library follows the classical layer-graph design (as in torch.nn without
+autograd): every :class:`Module` implements ``forward`` and ``backward``, where
+``backward`` receives the gradient of the loss with respect to the module
+output and must (i) accumulate parameter gradients and (ii) return the gradient
+with respect to the module input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+class Parameter:
+    """A trainable tensor with an associated gradient buffer.
+
+    Parameters
+    ----------
+    data:
+        Initial value.  Stored as ``float64`` by default for numerically robust
+        gradient checks; training at scale typically converts to ``float32``
+        via :meth:`Module.astype`.
+    name:
+        Optional human-readable name, filled by :meth:`Module.named_parameters`.
+    """
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: Array, name: str = "") -> None:
+        self.data = np.asarray(data)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def zero_grad(self) -> None:
+        """Reset the gradient buffer to zero (in place)."""
+        self.grad[...] = 0.0
+
+    def astype(self, dtype: np.dtype) -> None:
+        """Convert data and gradient to ``dtype`` in place."""
+        self.data = self.data.astype(dtype)
+        self.grad = self.grad.astype(dtype)
+
+    def copy_(self, other: "Parameter") -> None:
+        """Copy the values of ``other`` into this parameter."""
+        if other.data.shape != self.data.shape:
+            raise ValueError(
+                f"shape mismatch copying parameter: {other.data.shape} -> {self.data.shape}"
+            )
+        self.data[...] = other.data
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Parameter(name={self.name!r}, shape={self.data.shape}, dtype={self.data.dtype})"
+
+
+class Module:
+    """Base class of every layer and network.
+
+    Sub-classes register parameters as attributes of type :class:`Parameter`
+    and sub-modules as attributes of type :class:`Module`; both are discovered
+    automatically by :meth:`parameters` and :meth:`named_parameters`.
+    """
+
+    def __init__(self) -> None:
+        self.training = True
+
+    # ------------------------------------------------------------------ api
+    def forward(self, inputs: Array) -> Array:
+        raise NotImplementedError
+
+    def backward(self, grad_output: Array) -> Array:
+        raise NotImplementedError
+
+    def __call__(self, inputs: Array) -> Array:
+        return self.forward(inputs)
+
+    # ------------------------------------------------------------- traversal
+    def named_children(self) -> Iterator[Tuple[str, "Module"]]:
+        """Iterate over direct sub-modules in attribute definition order."""
+        for key, value in vars(self).items():
+            if isinstance(value, Module):
+                yield key, value
+            elif isinstance(value, (list, tuple)):
+                for index, item in enumerate(value):
+                    if isinstance(item, Module):
+                        yield f"{key}.{index}", item
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """Iterate over ``(qualified_name, parameter)`` pairs, depth-first."""
+        for key, value in vars(self).items():
+            if isinstance(value, Parameter):
+                name = f"{prefix}{key}"
+                value.name = name
+                yield name, value
+        for child_name, child in self.named_children():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def parameters(self) -> List[Parameter]:
+        """List of all trainable parameters of the module tree."""
+        return [param for _, param in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar trainable parameters."""
+        return sum(param.size for param in self.parameters())
+
+    # ------------------------------------------------------------------ state
+    def state_dict(self) -> Dict[str, Array]:
+        """Mapping of qualified parameter name to a copy of its value."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, Array]) -> None:
+        """Load parameter values from :meth:`state_dict` output."""
+        own = dict(self.named_parameters())
+        missing = sorted(set(own) - set(state))
+        unexpected = sorted(set(state) - set(own))
+        if missing or unexpected:
+            raise KeyError(
+                f"state dict mismatch: missing={missing}, unexpected={unexpected}"
+            )
+        for name, param in own.items():
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: checkpoint {value.shape} vs model {param.data.shape}"
+                )
+            param.data[...] = value.astype(param.data.dtype, copy=False)
+
+    # ------------------------------------------------------------------ modes
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects e.g. dropout)."""
+        self.training = mode
+        for _, child in self.named_children():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Switch to evaluation mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Zero every parameter gradient of the module tree."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def astype(self, dtype: np.dtype) -> "Module":
+        """Convert every parameter to ``dtype`` in place and return self."""
+        for param in self.parameters():
+            param.astype(dtype)
+        return self
+
+    # -------------------------------------------------------------- gradients
+    def gradients(self) -> List[Array]:
+        """List of gradient arrays, aligned with :meth:`parameters`."""
+        return [param.grad for param in self.parameters()]
+
+    def flat_gradients(self) -> Array:
+        """All gradients concatenated into a single 1-D vector."""
+        grads = self.gradients()
+        if not grads:
+            return np.zeros(0)
+        return np.concatenate([g.ravel() for g in grads])
+
+    def set_flat_gradients(self, flat: Array) -> None:
+        """Scatter a flat gradient vector back into per-parameter buffers."""
+        offset = 0
+        for param in self.parameters():
+            count = param.size
+            param.grad[...] = flat[offset : offset + count].reshape(param.shape)
+            offset += count
+        if offset != flat.size:
+            raise ValueError(
+                f"flat gradient has {flat.size} entries but model needs {offset}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        children = ", ".join(name for name, _ in self.named_children())
+        return f"{type(self).__name__}({children})"

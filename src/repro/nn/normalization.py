@@ -1,0 +1,57 @@
+"""Layer normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module, Parameter
+
+Array = np.ndarray
+
+
+class LayerNorm(Module):
+    """Layer normalisation over the last dimension with learnable affine.
+
+    Normalises each sample to zero mean and unit variance across features and
+    applies a learnable scale/shift.  Useful for deeper surrogate variants.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, dtype: np.dtype = np.float64) -> None:
+        super().__init__()
+        if num_features <= 0:
+            raise ValueError("num_features must be positive")
+        self.num_features = int(num_features)
+        self.eps = float(eps)
+        self.gamma = Parameter(np.ones(num_features, dtype=dtype))
+        self.beta = Parameter(np.zeros(num_features, dtype=dtype))
+        self._cache: tuple[Array, Array, Array] | None = None
+
+    def forward(self, inputs: Array) -> Array:
+        inputs = np.asarray(inputs)
+        if inputs.shape[-1] != self.num_features:
+            raise ValueError(
+                f"LayerNorm expected {self.num_features} features, got {inputs.shape[-1]}"
+            )
+        mean = inputs.mean(axis=-1, keepdims=True)
+        var = inputs.var(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        normed = (inputs - mean) * inv_std
+        self._cache = (normed, inv_std, inputs - mean)
+        return normed * self.gamma.data + self.beta.data
+
+    def backward(self, grad_output: Array) -> Array:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward on LayerNorm")
+        normed, inv_std, centered = self._cache
+        n = self.num_features
+
+        self.gamma.grad += (grad_output * normed).sum(axis=tuple(range(grad_output.ndim - 1)))
+        self.beta.grad += grad_output.sum(axis=tuple(range(grad_output.ndim - 1)))
+
+        grad_normed = grad_output * self.gamma.data
+        # Standard layer-norm backward (per-sample reduction over features).
+        grad_var = (-0.5 * (grad_normed * centered).sum(axis=-1, keepdims=True)) * inv_std**3
+        grad_mean = (-grad_normed * inv_std).sum(axis=-1, keepdims=True) + grad_var * (
+            -2.0 * centered.mean(axis=-1, keepdims=True)
+        )
+        return grad_normed * inv_std + grad_var * 2.0 * centered / n + grad_mean / n

@@ -1,0 +1,254 @@
+"""Gradient-descent optimizers.
+
+The paper trains with Adam (initial learning rate 1e-3); SGD with momentum,
+RMSProp and AdamW are provided for the baselines and ablations.  Optimizers
+operate in place on :class:`repro.nn.module.Parameter` objects and expose a
+``state_dict``/``load_state_dict`` pair so that server checkpointing
+(:mod:`repro.server.checkpointing`) can capture the full training state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+Array = np.ndarray
+
+
+class Optimizer:
+    """Base optimizer over a list of parameters."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+        self.step_count = 0
+
+    def step(self) -> None:
+        """Apply one update using the gradients currently stored in the parameters."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Zero the gradients of every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    # ------------------------------------------------------------------ state
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable optimizer state (hyper-parameters + per-slot buffers)."""
+        return {"lr": self.lr, "step_count": self.step_count}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        """Restore optimizer state saved by :meth:`state_dict`."""
+        self.lr = float(state["lr"])
+        self.step_count = int(state["step_count"])
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and Nesterov update."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if momentum < 0:
+            raise ValueError("momentum must be non-negative")
+        if nesterov and momentum == 0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+        self.weight_decay = float(weight_decay)
+        self._velocity: List[Array] = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for param, velocity in zip(self.parameters, self._velocity):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = grad + self.momentum * velocity if self.nesterov else velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state.update(
+            momentum=self.momentum,
+            nesterov=self.nesterov,
+            weight_decay=self.weight_decay,
+            velocity=[v.copy() for v in self._velocity],
+        )
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["momentum"])
+        self.nesterov = bool(state["nesterov"])
+        self.weight_decay = float(state["weight_decay"])
+        velocity = state["velocity"]
+        for buf, saved in zip(self._velocity, velocity):
+            buf[...] = saved
+
+
+class RMSProp(Optimizer):
+    """RMSProp with exponentially decaying second-moment estimate."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        alpha: float = 0.99,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not 0.0 < alpha < 1.0:
+            raise ValueError("alpha must be in (0, 1)")
+        self.alpha = float(alpha)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._square_avg: List[Array] = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self.step_count += 1
+        for param, square_avg in zip(self.parameters, self._square_avg):
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            square_avg *= self.alpha
+            square_avg += (1.0 - self.alpha) * grad**2
+            param.data -= self.lr * grad / (np.sqrt(square_avg) + self.eps)
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state.update(
+            alpha=self.alpha,
+            eps=self.eps,
+            weight_decay=self.weight_decay,
+            square_avg=[s.copy() for s in self._square_avg],
+        )
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self.alpha = float(state["alpha"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        for buf, saved in zip(self._square_avg, state["square_avg"]):
+            buf[...] = saved
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba) with bias-corrected moment estimates."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m: List[Array] = [np.zeros_like(p.data) for p in self.parameters]
+        self._v: List[Array] = [np.zeros_like(p.data) for p in self.parameters]
+
+    def _apply_weight_decay(self, param: Parameter, grad: Array) -> Array:
+        # Classic (L2) weight decay folded into the gradient.
+        if self.weight_decay:
+            return grad + self.weight_decay * param.data
+        return grad
+
+    def step(self) -> None:
+        self.step_count += 1
+        bias1 = 1.0 - self.beta1**self.step_count
+        bias2 = 1.0 - self.beta2**self.step_count
+        for param, m, v in zip(self.parameters, self._m, self._v):
+            grad = self._apply_weight_decay(param, param.grad)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            self._update(param, m_hat, v_hat)
+
+    def _update(self, param: Parameter, m_hat: Array, v_hat: Array) -> None:
+        param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> Dict[str, object]:
+        state = super().state_dict()
+        state.update(
+            beta1=self.beta1,
+            beta2=self.beta2,
+            eps=self.eps,
+            weight_decay=self.weight_decay,
+            m=[m.copy() for m in self._m],
+            v=[v.copy() for v in self._v],
+        )
+        return state
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        super().load_state_dict(state)
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self.weight_decay = float(state["weight_decay"])
+        for buf, saved in zip(self._m, state["m"]):
+            buf[...] = saved
+        for buf, saved in zip(self._v, state["v"]):
+            buf[...] = saved
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def _apply_weight_decay(self, param: Parameter, grad: Array) -> Array:
+        # Decoupled: decay applied directly to the weights in _update.
+        return grad
+
+    def _update(self, param: Parameter, m_hat: Array, v_hat: Array) -> None:
+        if self.weight_decay:
+            param.data -= self.lr * self.weight_decay * param.data
+        super()._update(param, m_hat, v_hat)
+
+
+_OPTIMIZERS = {
+    "sgd": SGD,
+    "rmsprop": RMSProp,
+    "adam": Adam,
+    "adamw": AdamW,
+}
+
+
+def get_optimizer(name: str, parameters: Sequence[Parameter], **kwargs: object) -> Optimizer:
+    """Instantiate an optimizer by name."""
+    try:
+        cls = _OPTIMIZERS[name.lower()]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown optimizer {name!r}; available: {sorted(_OPTIMIZERS)}"
+        ) from exc
+    return cls(parameters, **kwargs)  # type: ignore[arg-type]

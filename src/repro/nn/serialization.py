@@ -1,0 +1,133 @@
+"""Model/optimizer checkpoint save & load.
+
+Checkpoints are ``.npz`` archives holding the model state dict, optionally the
+optimizer moment buffers and arbitrary metadata.  They back the server
+fault-tolerance protocol (the server is "regularly checkpointed" in the paper).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.utils.exceptions import CheckpointError
+
+_META_KEY = "__checkpoint_meta__"
+_OPT_PREFIX = "__optimizer__/"
+
+
+def _flatten_optimizer_state(state: Dict[str, object]) -> Dict[str, np.ndarray]:
+    """Flatten optimizer state into npz-compatible arrays."""
+    flat: Dict[str, np.ndarray] = {}
+    scalars: Dict[str, object] = {}
+    for key, value in state.items():
+        if isinstance(value, list) and value and isinstance(value[0], np.ndarray):
+            for index, array in enumerate(value):
+                flat[f"{_OPT_PREFIX}{key}/{index}"] = array
+            scalars[f"__len__{key}"] = len(value)
+        elif isinstance(value, np.ndarray):
+            flat[f"{_OPT_PREFIX}{key}"] = value
+        else:
+            scalars[key] = value
+    flat[f"{_OPT_PREFIX}__scalars__"] = np.frombuffer(
+        json.dumps(scalars).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    return flat
+
+
+def _unflatten_optimizer_state(archive: Dict[str, np.ndarray]) -> Dict[str, object]:
+    """Inverse of :func:`_flatten_optimizer_state`."""
+    scalars_raw = archive.get(f"{_OPT_PREFIX}__scalars__")
+    if scalars_raw is None:
+        raise CheckpointError("checkpoint does not contain optimizer state")
+    scalars = json.loads(bytes(scalars_raw).decode("utf-8"))
+    state: Dict[str, object] = {}
+    list_lengths = {
+        key[len("__len__"):]: int(value)
+        for key, value in scalars.items()
+        if key.startswith("__len__")
+    }
+    for key, value in scalars.items():
+        if not key.startswith("__len__"):
+            state[key] = value
+    for key, length in list_lengths.items():
+        state[key] = [archive[f"{_OPT_PREFIX}{key}/{i}"] for i in range(length)]
+    for name, array in archive.items():
+        if name.startswith(_OPT_PREFIX) and "/" not in name[len(_OPT_PREFIX):]:
+            stripped = name[len(_OPT_PREFIX):]
+            if stripped != "__scalars__" and stripped not in state:
+                state[stripped] = array
+    return state
+
+
+def save_checkpoint(
+    path: str | Path,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    metadata: Dict[str, Any] | None = None,
+) -> Path:
+    """Save model (and optionally optimizer) state to ``path`` (.npz).
+
+    Returns the path actually written (with ``.npz`` suffix enforced).
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    arrays: Dict[str, np.ndarray] = {f"model/{k}": v for k, v in model.state_dict().items()}
+    meta = dict(metadata or {})
+    meta["has_optimizer"] = optimizer is not None
+    if optimizer is not None:
+        arrays.update(_flatten_optimizer_state(optimizer.state_dict()))
+    arrays[_META_KEY] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8).copy()
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_checkpoint(
+    path: str | Path,
+    model: Module,
+    optimizer: Optimizer | None = None,
+) -> Dict[str, Any]:
+    """Load a checkpoint into ``model`` (and ``optimizer``), return the metadata."""
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        arrays = {key: archive[key] for key in archive.files}
+
+    meta_raw = arrays.pop(_META_KEY, None)
+    metadata: Dict[str, Any] = {}
+    if meta_raw is not None:
+        metadata = json.loads(bytes(meta_raw).decode("utf-8"))
+
+    model_state = {
+        key[len("model/"):]: value for key, value in arrays.items() if key.startswith("model/")
+    }
+    if not model_state:
+        raise CheckpointError(f"checkpoint {path} holds no model state")
+    model.load_state_dict(model_state)
+
+    if optimizer is not None:
+        if not metadata.get("has_optimizer", False):
+            raise CheckpointError(f"checkpoint {path} holds no optimizer state")
+        optimizer.load_state_dict(_unflatten_optimizer_state(arrays))
+    return metadata
+
+
+def state_dict_equal(a: Dict[str, np.ndarray], b: Dict[str, np.ndarray], atol: float = 0.0) -> bool:
+    """True when two state dicts hold the same keys and (near-)identical values."""
+    if set(a) != set(b):
+        return False
+    for key in a:
+        if a[key].shape != b[key].shape:
+            return False
+        if not np.allclose(a[key], b[key], atol=atol, rtol=0.0):
+            return False
+    return True

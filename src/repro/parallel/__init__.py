@@ -1,0 +1,53 @@
+"""Thread-based SPMD/MPI-like substrate and the client/server transport layer.
+
+The paper's framework runs MPI-parallel solver clients and an MPI data-parallel
+training server connected through ZeroMQ.  On a single node (no MPI, no
+network) this package provides:
+
+* :class:`ThreadCommunicator` — per-rank communicator objects with
+  point-to-point and collective operations over in-process queues.
+* :class:`SPMDExecutor` — runs one Python callable per rank in a thread pool,
+  exactly like ``mpiexec -n`` runs one process per rank.
+* block domain partitioning helpers used by the parallel heat solver.
+* :class:`MessageRouter` / :class:`Connection` — the ZeroMQ substitute carrying
+  time steps from clients to the server's data-aggregator threads.
+"""
+
+from repro.parallel.collectives import ring_allreduce, tree_broadcast
+from repro.parallel.communicator import CommunicatorGroup, ThreadCommunicator
+from repro.parallel.messages import (
+    ClientFinished,
+    ClientHello,
+    Heartbeat,
+    Message,
+    TimeStepMessage,
+)
+from repro.parallel.partition import (
+    BlockPartition1D,
+    BlockPartition2D,
+    partition_extent,
+    split_grid_2d,
+)
+from repro.parallel.spmd import SPMDExecutor, SPMDFailure
+from repro.parallel.transport import Connection, MessageRouter, RouterClosed
+
+__all__ = [
+    "ThreadCommunicator",
+    "CommunicatorGroup",
+    "ring_allreduce",
+    "tree_broadcast",
+    "SPMDExecutor",
+    "SPMDFailure",
+    "BlockPartition1D",
+    "BlockPartition2D",
+    "partition_extent",
+    "split_grid_2d",
+    "Message",
+    "ClientHello",
+    "ClientFinished",
+    "Heartbeat",
+    "TimeStepMessage",
+    "MessageRouter",
+    "Connection",
+    "RouterClosed",
+]

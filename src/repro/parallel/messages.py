@@ -1,0 +1,112 @@
+"""Message types exchanged between clients and the training server.
+
+The real framework serialises these over ZeroMQ; here they are plain dataclass
+payloads carried by :class:`repro.parallel.transport.MessageRouter`.  The
+wire-format concerns the paper cares about are preserved: each time-step
+message carries the client (simulation) id, the time-step index, the input
+parameters and the float32 field, so the server can deduplicate after a client
+restart and build training samples without any additional lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+
+@dataclass
+class Message:
+    """Base class of every client→server message."""
+
+    client_id: int
+
+    def nbytes(self) -> int:
+        """Approximate payload size in bytes (used by throughput accounting)."""
+        return 0
+
+
+@dataclass
+class ClientHello(Message):
+    """First message of a client: announces itself and its metadata."""
+
+    parameters: Tuple[float, ...] = ()
+    num_time_steps: int = 0
+    field_shape: Tuple[int, ...] = ()
+    restart_count: int = 0
+
+    def nbytes(self) -> int:
+        return 8 * len(self.parameters) + 24
+
+
+@dataclass
+class TimeStepMessage(Message):
+    """One simulation time step streamed to a server rank.
+
+    Attributes
+    ----------
+    client_id:
+        Identifier of the simulation instance (ensemble member).
+    time_step:
+        Index ``t`` of the field in the simulation's time series.
+    time_value:
+        Physical time corresponding to ``time_step``.
+    parameters:
+        The simulation input vector ``X`` (initial + boundary temperatures).
+    payload:
+        The flattened field ``u_t_X`` in float32 (already gathered on the
+        client's rank 0 and down-converted, as in the paper).
+    sequence_number:
+        Per-client monotonically increasing counter used by the server's
+        message log for deduplication after client restarts.
+    """
+
+    time_step: int = 0
+    time_value: float = 0.0
+    parameters: Tuple[float, ...] = ()
+    payload: Array = field(default_factory=lambda: np.zeros(0, dtype=np.float32))
+    sequence_number: int = 0
+
+    def nbytes(self) -> int:
+        return int(self.payload.nbytes) + 8 * len(self.parameters) + 32
+
+    def sample_input(self) -> Array:
+        """Training input vector ``(X, t)`` as float32."""
+        return np.asarray([*self.parameters, self.time_value], dtype=np.float32)
+
+    def key(self) -> Tuple[int, int]:
+        """Deduplication key ``(client_id, time_step)``."""
+        return (self.client_id, self.time_step)
+
+
+@dataclass
+class ClientFinished(Message):
+    """Last message of a client: no more data will be sent."""
+
+    total_sent: int = 0
+
+    def nbytes(self) -> int:
+        return 16
+
+
+@dataclass
+class Heartbeat(Message):
+    """Periodic liveness signal used by the server's fault detector."""
+
+    timestamp: float = 0.0
+    progress: float = 0.0
+
+    def nbytes(self) -> int:
+        return 24
+
+
+@dataclass
+class ServerCommand:
+    """Server→launcher command (e.g. request to start or kill a client)."""
+
+    action: str
+    client_id: Optional[int] = None
+    reason: str = ""

@@ -1,0 +1,135 @@
+"""Block partitioning of 1-D and 2-D index spaces.
+
+The paper's Fortran solver is parallelised with a classical 2-D domain
+partitioning; the parallel heat solver in :mod:`repro.solvers.heat2d_parallel`
+uses the same decomposition, built from these helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+def partition_extent(total: int, parts: int, index: int) -> Tuple[int, int]:
+    """Start (inclusive) and stop (exclusive) of block ``index`` of ``total`` items.
+
+    The first ``total % parts`` blocks receive one extra item, like MPI's usual
+    block distribution.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if not 0 <= index < parts:
+        raise ValueError(f"index {index} out of range for {parts} parts")
+    base, remainder = divmod(total, parts)
+    start = index * base + min(index, remainder)
+    stop = start + base + (1 if index < remainder else 0)
+    return start, stop
+
+
+@dataclass(frozen=True)
+class BlockPartition1D:
+    """1-D block partition of ``total`` items over ``parts`` owners."""
+
+    total: int
+    parts: int
+
+    def extent(self, index: int) -> Tuple[int, int]:
+        return partition_extent(self.total, self.parts, index)
+
+    def owner(self, item: int) -> int:
+        """Owner rank of global item ``item``."""
+        if not 0 <= item < self.total:
+            raise ValueError(f"item {item} out of range [0, {self.total})")
+        for index in range(self.parts):
+            start, stop = self.extent(index)
+            if start <= item < stop:
+                return index
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def sizes(self) -> List[int]:
+        return [stop - start for start, stop in (self.extent(i) for i in range(self.parts))]
+
+
+def best_process_grid(nprocs: int, ny: int, nx: int) -> Tuple[int, int]:
+    """Pick a (py, px) process grid minimising the halo surface, like MPI_Dims_create.
+
+    Prefers splits whose aspect ratio matches the domain's.
+    """
+    best: Tuple[int, int] | None = None
+    best_cost = math.inf
+    for py in range(1, nprocs + 1):
+        if nprocs % py:
+            continue
+        px = nprocs // py
+        if py > ny or px > nx:
+            continue
+        # Halo cost ~ total boundary length exchanged per step.
+        cost = py * nx + px * ny
+        if cost < best_cost:
+            best_cost = cost
+            best = (py, px)
+    if best is None:
+        raise ValueError(
+            f"cannot place {nprocs} processes on a {ny}x{nx} grid (too many processes)"
+        )
+    return best
+
+
+@dataclass(frozen=True)
+class BlockPartition2D:
+    """2-D block partition of an ``ny`` x ``nx`` grid over a ``py`` x ``px`` process grid."""
+
+    ny: int
+    nx: int
+    py: int
+    px: int
+
+    def __post_init__(self) -> None:
+        if self.py <= 0 or self.px <= 0:
+            raise ValueError("process grid dimensions must be positive")
+        if self.py > self.ny or self.px > self.nx:
+            raise ValueError("more processes than grid points along one dimension")
+
+    @property
+    def nprocs(self) -> int:
+        return self.py * self.px
+
+    def coords(self, rank: int) -> Tuple[int, int]:
+        """(row, col) coordinates of ``rank`` in the process grid (row-major)."""
+        if not 0 <= rank < self.nprocs:
+            raise ValueError(f"rank {rank} out of range for {self.nprocs} processes")
+        return divmod(rank, self.px)
+
+    def rank_of(self, row: int, col: int) -> int:
+        if not (0 <= row < self.py and 0 <= col < self.px):
+            raise ValueError(f"coords ({row}, {col}) outside process grid")
+        return row * self.px + col
+
+    def local_block(self, rank: int) -> Tuple[slice, slice]:
+        """Global index slices (rows, cols) owned by ``rank``."""
+        row, col = self.coords(rank)
+        y0, y1 = partition_extent(self.ny, self.py, row)
+        x0, x1 = partition_extent(self.nx, self.px, col)
+        return slice(y0, y1), slice(x0, x1)
+
+    def local_shape(self, rank: int) -> Tuple[int, int]:
+        rows, cols = self.local_block(rank)
+        return rows.stop - rows.start, cols.stop - cols.start
+
+    def neighbors(self, rank: int) -> dict[str, int | None]:
+        """Neighbour ranks in the four cardinal directions (None at the domain edge)."""
+        row, col = self.coords(rank)
+        return {
+            "north": self.rank_of(row - 1, col) if row > 0 else None,
+            "south": self.rank_of(row + 1, col) if row < self.py - 1 else None,
+            "west": self.rank_of(row, col - 1) if col > 0 else None,
+            "east": self.rank_of(row, col + 1) if col < self.px - 1 else None,
+        }
+
+
+def split_grid_2d(ny: int, nx: int, nprocs: int) -> BlockPartition2D:
+    """Build a 2-D block partition with an automatically chosen process grid."""
+    py, px = best_process_grid(nprocs, ny, nx)
+    return BlockPartition2D(ny=ny, nx=nx, py=py, px=px)

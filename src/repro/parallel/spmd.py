@@ -1,0 +1,107 @@
+"""SPMD executor: run one callable per rank, each on its own thread.
+
+This is the substitute for ``mpiexec -n <size>``: the callable receives a
+:class:`repro.parallel.communicator.ThreadCommunicator` for its rank plus any
+user arguments, and the executor returns the per-rank results (ordered by
+rank).  Exceptions raised by any rank are collected and re-raised as a single
+:class:`SPMDFailure` so that tests can assert on failure behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.parallel.communicator import CommunicatorGroup, ThreadCommunicator
+from repro.utils.exceptions import ReproError
+
+
+class SPMDFailure(ReproError):
+    """Raised when at least one rank of an SPMD execution raised an exception."""
+
+    def __init__(self, errors: Dict[int, BaseException]) -> None:
+        self.errors = errors
+        summary = "; ".join(f"rank {rank}: {exc!r}" for rank, exc in sorted(errors.items()))
+        super().__init__(f"SPMD execution failed on {len(errors)} rank(s): {summary}")
+
+
+@dataclass
+class SPMDResult:
+    """Results of an SPMD run: per-rank return values and wall time."""
+
+    values: List[Any]
+    elapsed: float = 0.0
+    errors: Dict[int, BaseException] = field(default_factory=dict)
+
+    def __getitem__(self, rank: int) -> Any:
+        return self.values[rank]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class SPMDExecutor:
+    """Run ``target(comm, *args, **kwargs)`` on ``size`` ranks concurrently."""
+
+    def __init__(self, size: int, timeout: float | None = 120.0) -> None:
+        if size <= 0:
+            raise ValueError("SPMD size must be positive")
+        self.size = int(size)
+        self.timeout = timeout
+
+    def run(
+        self,
+        target: Callable[..., Any],
+        *args: Any,
+        **kwargs: Any,
+    ) -> SPMDResult:
+        """Execute ``target`` on every rank and return the per-rank results."""
+        group = CommunicatorGroup(self.size, timeout=self.timeout)
+        communicators = group.rank_communicators()
+        results: List[Any] = [None] * self.size
+        errors: Dict[int, BaseException] = {}
+        lock = threading.Lock()
+
+        def runner(comm: ThreadCommunicator) -> None:
+            try:
+                value = target(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - propagated via SPMDFailure
+                with lock:
+                    errors[comm.rank] = exc
+            else:
+                results[comm.rank] = value
+
+        import time
+
+        start = time.monotonic()
+        threads = [
+            threading.Thread(target=runner, args=(comm,), name=f"spmd-rank-{comm.rank}", daemon=True)
+            for comm in communicators
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=None if self.timeout is None else self.timeout + 5.0)
+        elapsed = time.monotonic() - start
+
+        alive = [t for t in threads if t.is_alive()]
+        if alive:
+            hung = ", ".join(t.name for t in alive)
+            raise SPMDFailure(
+                {**errors, -1: TimeoutError(f"ranks still running after timeout: {hung}")}
+            )
+        if errors:
+            raise SPMDFailure(errors)
+        return SPMDResult(values=results, elapsed=elapsed)
+
+
+def run_spmd(
+    size: int,
+    target: Callable[..., Any],
+    *args: Any,
+    timeout: Optional[float] = 120.0,
+    **kwargs: Any,
+) -> List[Any]:
+    """Convenience wrapper: run ``target`` on ``size`` ranks, return rank-ordered values."""
+    return SPMDExecutor(size, timeout=timeout).run(target, *args, **kwargs).values

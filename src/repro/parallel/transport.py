@@ -1,0 +1,147 @@
+"""In-process transport layer connecting clients to server ranks.
+
+This is the ZeroMQ substitute: a :class:`MessageRouter` owns one bounded queue
+per server rank; clients obtain a :class:`Connection` and push messages to a
+chosen server rank, while each server data-aggregator thread polls its own
+queue.  The router also keeps aggregate statistics (messages/bytes routed)
+used by the throughput experiments.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.parallel.messages import Message
+from repro.utils.exceptions import ReproError
+
+
+class RouterClosed(ReproError):
+    """Raised when pushing to or polling from a closed router."""
+
+
+@dataclass
+class TransportStats:
+    """Counters describing the traffic that went through the router."""
+
+    messages_routed: int = 0
+    bytes_routed: int = 0
+    per_rank_messages: Dict[int, int] = field(default_factory=dict)
+    dropped_messages: int = 0
+
+    def record(self, rank: int, nbytes: int) -> None:
+        self.messages_routed += 1
+        self.bytes_routed += int(nbytes)
+        self.per_rank_messages[rank] = self.per_rank_messages.get(rank, 0) + 1
+
+
+class MessageRouter:
+    """Routes client messages to per-server-rank queues.
+
+    Parameters
+    ----------
+    num_server_ranks:
+        Number of server processes (one per GPU in the paper).
+    max_queue_size:
+        Bound of each per-rank queue.  The paper notes that during validation
+        "newly produced data sent by the clients still accumulate in the ZMQ
+        buffer" — the bound models that buffer's capacity; pushes block when
+        the queue is full, mimicking ZMQ's high-water-mark back-pressure.
+    """
+
+    def __init__(self, num_server_ranks: int, max_queue_size: int = 10_000) -> None:
+        if num_server_ranks <= 0:
+            raise ValueError("num_server_ranks must be positive")
+        self.num_server_ranks = int(num_server_ranks)
+        self.max_queue_size = int(max_queue_size)
+        self._queues: List[queue.Queue] = [
+            queue.Queue(maxsize=max_queue_size) for _ in range(num_server_ranks)
+        ]
+        self._closed = threading.Event()
+        self._stats_lock = threading.Lock()
+        self.stats = TransportStats()
+
+    # ----------------------------------------------------------------- client
+    def connect(self, client_id: int) -> "Connection":
+        """Create a connection handle for a client (all server ranks reachable)."""
+        if self._closed.is_set():
+            raise RouterClosed("cannot connect: router is closed")
+        return Connection(router=self, client_id=int(client_id))
+
+    def push(self, rank: int, message: Message, timeout: float | None = None) -> None:
+        """Push ``message`` to server rank ``rank`` (blocking when the queue is full)."""
+        if self._closed.is_set():
+            raise RouterClosed("router is closed")
+        if not 0 <= rank < self.num_server_ranks:
+            raise ValueError(f"server rank {rank} out of range")
+        self._queues[rank].put(message, timeout=timeout)
+        with self._stats_lock:
+            self.stats.record(rank, message.nbytes())
+
+    # ----------------------------------------------------------------- server
+    def poll(self, rank: int, timeout: float | None = 0.05) -> Optional[Message]:
+        """Pop the next message for server rank ``rank`` or ``None`` on timeout."""
+        if not 0 <= rank < self.num_server_ranks:
+            raise ValueError(f"server rank {rank} out of range")
+        try:
+            if timeout is None:
+                return self._queues[rank].get_nowait()
+            return self._queues[rank].get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def pending(self, rank: int) -> int:
+        """Number of messages currently queued for server rank ``rank``."""
+        return self._queues[rank].qsize()
+
+    def total_pending(self) -> int:
+        """Messages queued across all ranks."""
+        return sum(q.qsize() for q in self._queues)
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Close the router; subsequent pushes raise :class:`RouterClosed`."""
+        self._closed.set()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+
+@dataclass
+class Connection:
+    """Client-side handle distributing messages over the server ranks.
+
+    As in the paper, each client connects to *all* server ranks and sends its
+    time steps round-robin, with the starting rank offset by the client id so
+    that all clients do not hit the same rank with the same time step.
+    """
+
+    router: MessageRouter
+    client_id: int
+    _next_rank: int = field(init=False)
+    sent_messages: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self._next_rank = self.client_id % self.router.num_server_ranks
+
+    def send_round_robin(self, message: Message, timeout: float | None = None) -> int:
+        """Send to the next rank in round-robin order; returns the rank used."""
+        rank = self._next_rank
+        self.router.push(rank, message, timeout=timeout)
+        self._next_rank = (rank + 1) % self.router.num_server_ranks
+        self.sent_messages += 1
+        return rank
+
+    def send_to(self, rank: int, message: Message, timeout: float | None = None) -> None:
+        """Send to an explicit server rank (used for control messages)."""
+        self.router.push(rank, message, timeout=timeout)
+        self.sent_messages += 1
+
+    def broadcast(self, message: Message, timeout: float | None = None) -> None:
+        """Send the same message to every server rank (hello/finished markers)."""
+        for rank in range(self.router.num_server_ranks):
+            self.router.push(rank, message, timeout=timeout)
+        self.sent_messages += self.router.num_server_ranks

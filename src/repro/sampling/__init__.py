@@ -1,0 +1,35 @@
+"""Experimental-design samplers for the ensemble parameters.
+
+The paper's data-aggregator thread controls the experimental design; the
+methods supported are "the traditional Monte Carlo method, Latin hypercube and
+Halton sequence", all drawing the client parameters ``X`` within a box (the
+heat-equation experiments use [100, 500] K for every temperature).
+"""
+
+from repro.sampling.base import ParameterSpace, Sampler
+from repro.sampling.halton import HaltonSampler
+from repro.sampling.latin_hypercube import LatinHypercubeSampler
+from repro.sampling.monte_carlo import MonteCarloSampler
+
+__all__ = [
+    "ParameterSpace",
+    "Sampler",
+    "MonteCarloSampler",
+    "LatinHypercubeSampler",
+    "HaltonSampler",
+    "get_sampler",
+]
+
+
+def get_sampler(name: str, space: ParameterSpace, seed: int = 0) -> Sampler:
+    """Instantiate a sampler by name ("monte_carlo", "latin_hypercube", "halton")."""
+    samplers = {
+        "monte_carlo": MonteCarloSampler,
+        "latin_hypercube": LatinHypercubeSampler,
+        "halton": HaltonSampler,
+    }
+    try:
+        cls = samplers[name.lower()]
+    except KeyError as exc:
+        raise KeyError(f"unknown sampler {name!r}; available: {sorted(samplers)}") from exc
+    return cls(space, seed=seed)

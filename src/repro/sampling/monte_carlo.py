@@ -1,0 +1,21 @@
+"""Plain Monte Carlo sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sampling.base import Sampler
+from repro.utils.seeding import derive_rng
+
+Array = np.ndarray
+
+
+class MonteCarloSampler(Sampler):
+    """Independent uniform draws from the parameter box (seeded)."""
+
+    def __init__(self, space, seed: int = 0) -> None:
+        super().__init__(space, seed=seed)
+        self._rng = derive_rng("monte-carlo-sampler", seed)
+
+    def _unit_samples(self, count: int) -> Array:
+        return self._rng.random((count, self.space.dimension))

@@ -1,0 +1,39 @@
+"""Server side of the framework: data aggregation, buffering and parallel training.
+
+Each server rank (one per GPU in the paper) runs two threads:
+
+* the **data-aggregator thread** (:class:`DataAggregator`) receives time steps
+  from the clients, deduplicates restarted clients' messages and stores
+  samples into the rank-local training buffer;
+* the **training thread** (:class:`TrainingWorker`) extracts batches from the
+  buffer, performs forward/backward passes and synchronises gradients with the
+  other ranks (synchronous data-parallel training).
+
+:class:`TrainingServer` wires both together over the transport router and
+exposes a single blocking :meth:`TrainingServer.run`.
+"""
+
+from repro.server.aggregator import AggregatorStats, DataAggregator
+from repro.server.checkpointing import ServerCheckpointer
+from repro.server.ddp import broadcast_parameters, sync_gradients
+from repro.server.fault import HeartbeatMonitor, MessageLog
+from repro.server.server import ServerConfig, ServerResult, TrainingServer
+from repro.server.trainer import TrainerConfig, TrainingWorker
+from repro.server.validation import ValidationSet, Validator
+
+__all__ = [
+    "DataAggregator",
+    "AggregatorStats",
+    "MessageLog",
+    "HeartbeatMonitor",
+    "TrainingWorker",
+    "TrainerConfig",
+    "TrainingServer",
+    "ServerConfig",
+    "ServerResult",
+    "Validator",
+    "ValidationSet",
+    "ServerCheckpointer",
+    "sync_gradients",
+    "broadcast_parameters",
+]

@@ -1,0 +1,161 @@
+"""Data-aggregator thread of a server rank.
+
+The aggregator polls the transport queue of its rank, converts the incoming
+:class:`TimeStepMessage` payloads into :class:`SampleRecord` training samples,
+discards duplicates caused by client restarts, feeds the rank-local training
+buffer and signals the buffer when every expected client has finished.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional, Set
+
+import numpy as np
+
+from repro.buffers.base import SampleRecord, TrainingBuffer
+from repro.parallel.messages import ClientFinished, ClientHello, Heartbeat, Message, TimeStepMessage
+from repro.parallel.transport import MessageRouter
+from repro.server.fault import HeartbeatMonitor, MessageLog
+from repro.utils.exceptions import BufferClosedError
+from repro.utils.logging import get_logger
+
+logger = get_logger("server.aggregator")
+
+
+@dataclass
+class AggregatorStats:
+    """Counters maintained by one aggregator thread."""
+
+    samples_received: int = 0
+    bytes_received: int = 0
+    duplicates_discarded: int = 0
+    clients_seen: Set[int] = field(default_factory=set)
+    clients_finished: Set[int] = field(default_factory=set)
+
+
+class DataAggregator:
+    """Receive client data for one server rank and fill its training buffer.
+
+    Parameters
+    ----------
+    rank:
+        Server rank this aggregator serves.
+    router:
+        Transport router shared with the clients.
+    buffer:
+        The rank-local training buffer (FIFO/FIRO/Reservoir).
+    expected_clients:
+        Total number of ensemble members the study will run; the aggregator
+        signals end-of-reception to the buffer once a ``ClientFinished`` was
+        seen from each of them.
+    poll_timeout:
+        Polling timeout of the transport queue in seconds.
+    heartbeat_monitor:
+        Optional liveness tracker shared with the fault-handling logic.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        router: MessageRouter,
+        buffer: TrainingBuffer,
+        expected_clients: int,
+        poll_timeout: float = 0.02,
+        heartbeat_monitor: Optional[HeartbeatMonitor] = None,
+        message_log: Optional[MessageLog] = None,
+    ) -> None:
+        self.rank = int(rank)
+        self.router = router
+        self.buffer = buffer
+        self.expected_clients = int(expected_clients)
+        self.poll_timeout = float(poll_timeout)
+        self.heartbeat_monitor = heartbeat_monitor
+        self.message_log = message_log or MessageLog()
+        self.stats = AggregatorStats()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Start the aggregator thread."""
+        if self._thread is not None:
+            raise RuntimeError("aggregator already started")
+        self._thread = threading.Thread(
+            target=self._run, name=f"aggregator-rank-{self.rank}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Request the aggregator to stop and wait for the thread to exit."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def reception_complete(self) -> bool:
+        """True once every expected client announced completion."""
+        return len(self.stats.clients_finished) >= self.expected_clients
+
+    # ------------------------------------------------------------------ logic
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            message = self.router.poll(self.rank, timeout=self.poll_timeout)
+            if message is None:
+                if self.reception_complete:
+                    break
+                continue
+            try:
+                self._handle(message)
+            except BufferClosedError:
+                break
+        # Whatever the exit reason, make sure the training thread is unblocked.
+        if self.reception_complete:
+            self.buffer.signal_reception_over()
+
+    def _handle(self, message: Message) -> None:
+        if isinstance(message, TimeStepMessage):
+            self._handle_time_step(message)
+        elif isinstance(message, ClientHello):
+            self.stats.clients_seen.add(message.client_id)
+            if self.heartbeat_monitor is not None:
+                self.heartbeat_monitor.touch(message.client_id)
+        elif isinstance(message, ClientFinished):
+            self.stats.clients_finished.add(message.client_id)
+            if self.heartbeat_monitor is not None:
+                self.heartbeat_monitor.mark_finished(message.client_id)
+            if self.reception_complete:
+                self.buffer.signal_reception_over()
+        elif isinstance(message, Heartbeat):
+            if self.heartbeat_monitor is not None:
+                self.heartbeat_monitor.touch(
+                    message.client_id, progress=message.progress, timestamp=message.timestamp
+                )
+        else:  # pragma: no cover - defensive
+            logger.warning("rank %d aggregator ignoring unknown message %r", self.rank, message)
+
+    def _handle_time_step(self, message: TimeStepMessage) -> None:
+        self.stats.clients_seen.add(message.client_id)
+        if self.heartbeat_monitor is not None:
+            self.heartbeat_monitor.touch(message.client_id, progress=float(message.time_step))
+        if not self.message_log.register(message.client_id, message.time_step):
+            self.stats.duplicates_discarded += 1
+            return
+        record = SampleRecord(
+            inputs=message.sample_input(),
+            target=np.asarray(message.payload, dtype=np.float32),
+            source_id=message.client_id,
+            time_step=message.time_step,
+        )
+        self.buffer.put(record)
+        self.stats.samples_received += 1
+        self.stats.bytes_received += message.nbytes()

@@ -1,0 +1,138 @@
+"""Periodic server checkpointing (fault tolerance of the training server).
+
+The paper: "The server is regularly checkpointed.  If a server failure is
+detected by the launcher, it first kills all running clients and next restarts
+a new server instance from the last checkpoint."  The checkpoint captures the
+model, the optimizer state, the message log (so restarted clients'
+already-received messages stay deduplicated) and training progress counters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.nn.module import Module
+from repro.nn.optim import Optimizer
+from repro.nn.serialization import load_checkpoint, save_checkpoint
+from repro.server.fault import MessageLog
+from repro.utils.exceptions import CheckpointError
+
+
+@dataclass
+class ServerCheckpointer:
+    """Writes and restores server checkpoints at a fixed batch interval.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoints are written.  Two files are produced per rank: the
+        ``.npz`` model/optimizer archive and a ``.json`` sidecar holding the
+        message-log snapshot and the progress counters.
+    interval_batches:
+        Checkpoint every that many trained batches (0 disables periodic saves;
+        explicit :meth:`save` calls still work).
+    rank:
+        Server rank owning this checkpointer.
+    keep_last:
+        Number of checkpoint generations retained on disk.
+    """
+
+    directory: Path
+    interval_batches: int = 200
+    rank: int = 0
+    keep_last: int = 2
+    _saved_generations: list = field(default_factory=list)
+    _generation_counter: int = 0
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ---------------------------------------------------------------- helpers
+    def _base_name(self, generation: int) -> str:
+        return f"server-rank{self.rank}-gen{generation:06d}"
+
+    def should_checkpoint(self, batches_trained: int) -> bool:
+        """True when the periodic interval has been reached."""
+        return (
+            self.interval_batches > 0
+            and batches_trained > 0
+            and batches_trained % self.interval_batches == 0
+        )
+
+    # ------------------------------------------------------------------- save
+    def save(
+        self,
+        model: Module,
+        optimizer: Optional[Optimizer],
+        batches_trained: int,
+        samples_trained: int,
+        message_log: Optional[MessageLog] = None,
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> Path:
+        """Write one checkpoint generation and prune old ones."""
+        generation = self._generation_counter
+        self._generation_counter += 1
+        base = self._base_name(generation)
+        archive_path = self.directory / f"{base}.npz"
+        sidecar_path = self.directory / f"{base}.json"
+
+        metadata = {
+            "rank": self.rank,
+            "generation": generation,
+            "batches_trained": int(batches_trained),
+            "samples_trained": int(samples_trained),
+        }
+        if extra:
+            metadata.update(extra)
+        save_checkpoint(archive_path, model, optimizer, metadata=metadata)
+
+        sidecar = {
+            "metadata": metadata,
+            "message_log": message_log.state() if message_log is not None else {},
+        }
+        sidecar_path.write_text(json.dumps(sidecar))
+        self._saved_generations.append(base)
+        self._prune()
+        return archive_path
+
+    def _prune(self) -> None:
+        while len(self._saved_generations) > self.keep_last:
+            base = self._saved_generations.pop(0)
+            for suffix in (".npz", ".json"):
+                path = self.directory / f"{base}{suffix}"
+                if path.exists():
+                    path.unlink()
+
+    # ---------------------------------------------------------------- restore
+    def latest(self) -> Optional[str]:
+        """Base name of the most recent checkpoint on disk (None when empty)."""
+        candidates = sorted(self.directory.glob(f"server-rank{self.rank}-gen*.npz"))
+        if not candidates:
+            return None
+        return candidates[-1].stem
+
+    def restore(
+        self,
+        model: Module,
+        optimizer: Optional[Optimizer] = None,
+        message_log: Optional[MessageLog] = None,
+    ) -> Dict[str, Any]:
+        """Restore the latest checkpoint; returns its metadata.
+
+        Raises :class:`CheckpointError` when no checkpoint exists.
+        """
+        base = self.latest()
+        if base is None:
+            raise CheckpointError(f"no checkpoint found in {self.directory} for rank {self.rank}")
+        metadata = load_checkpoint(self.directory / f"{base}.npz", model, optimizer)
+        sidecar_path = self.directory / f"{base}.json"
+        if sidecar_path.exists() and message_log is not None:
+            sidecar = json.loads(sidecar_path.read_text())
+            message_log.restore(
+                {int(k): v for k, v in sidecar.get("message_log", {}).items()}
+            )
+        return metadata

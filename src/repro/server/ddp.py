@@ -1,0 +1,54 @@
+"""Synchronous data-parallel training primitives (the paper's DDP substitute).
+
+The paper uses PyTorch Distributed: every server process holds an identical
+copy of the network, trains it on different data and all-reduces the gradient
+after every batch.  The two functions here implement exactly that over the
+thread communicator: :func:`broadcast_parameters` makes the replicas identical
+at start-up (and after a checkpoint restore), :func:`sync_gradients` averages
+the gradients with a ring all-reduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.parallel.collectives import ring_allreduce, tree_broadcast
+from repro.parallel.communicator import ThreadCommunicator
+
+Array = np.ndarray
+
+
+def broadcast_parameters(model: Module, comm: ThreadCommunicator, root: int = 0) -> None:
+    """Copy the parameters of rank ``root``'s replica into every other replica."""
+    if comm.size == 1:
+        return
+    for _, param in model.named_parameters():
+        value = tree_broadcast(comm, param.data if comm.rank == root else None, root=root)
+        if comm.rank != root:
+            param.data[...] = np.asarray(value, dtype=param.data.dtype)
+
+
+def sync_gradients(model: Module, comm: ThreadCommunicator, average: bool = True) -> None:
+    """All-reduce (average) the gradients of every parameter across ranks.
+
+    Gradients are flattened into a single vector so one ring all-reduce per
+    batch suffices, which is also how production frameworks bucket gradients.
+    """
+    if comm.size == 1:
+        return
+    flat = model.flat_gradients()
+    reduced = ring_allreduce(comm, flat, average=average)
+    model.set_flat_gradients(reduced.astype(flat.dtype, copy=False))
+
+
+def parameters_in_sync(model: Module, comm: ThreadCommunicator, atol: float = 1e-6) -> bool:
+    """Check that every rank holds (numerically) identical parameters.
+
+    Used by tests and by the fault-tolerance logic after a checkpoint restore.
+    """
+    if comm.size == 1:
+        return True
+    flat = np.concatenate([p.data.ravel() for p in model.parameters()])
+    mean = ring_allreduce(comm, flat, average=True)
+    return bool(np.allclose(flat, mean, atol=atol))

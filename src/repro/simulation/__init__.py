@@ -1,0 +1,29 @@
+"""Discrete-event performance model of the online/offline training pipelines.
+
+The paper's headline experiment (Table 2) runs 20 000 simulations on 5 120
+cores and streams 8 TB into 4 GPUs — far beyond a single node.  This package
+models the pipeline analytically/event-by-event (production rate of the client
+ensemble, buffer policy, GPU batch rate, file-system bandwidth for the offline
+baseline) so the full-scale numbers can be extrapolated and the *shape* of the
+paper's result (online ≈ 13x batch throughput, offline dominated by I/O and
+storage) can be reproduced without the hardware.
+"""
+
+from repro.simulation.costs import ClusterCostModel, IOCostModel, SolverCostModel, TrainingCostModel
+from repro.simulation.pipeline import (
+    OfflinePipelineEstimate,
+    OnlinePipelineEstimate,
+    PipelineSimulator,
+    simulate_offline_pipeline,
+)
+
+__all__ = [
+    "SolverCostModel",
+    "TrainingCostModel",
+    "IOCostModel",
+    "ClusterCostModel",
+    "PipelineSimulator",
+    "OnlinePipelineEstimate",
+    "OfflinePipelineEstimate",
+    "simulate_offline_pipeline",
+]

@@ -1,0 +1,51 @@
+"""Analytic and semi-analytic reference solutions used for solver verification."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.solvers.heat2d import HeatEquationConfig, HeatEquationSolver, HeatParameters
+
+Array = np.ndarray
+
+
+def constant_solution(config: HeatEquationConfig, temperature: float) -> Array:
+    """The exact solution when IC and every boundary share one temperature.
+
+    A spatially constant field is a fixed point of the heat equation, so the
+    solver must reproduce it at every time step to round-off accuracy.
+    """
+    return np.full(config.grid_shape, float(temperature))
+
+
+def steady_state(config: HeatEquationConfig, params: HeatParameters) -> Array:
+    """Stationary solution of the boundary-value problem (Laplace equation).
+
+    For long horizons the transient solution converges to this field; the
+    helper simply defers to the solver's sparse Laplace solve so tests can
+    check convergence without duplicating the discretisation.
+    """
+    return HeatEquationSolver(config).steady_state(params)
+
+
+def separable_mode_decay(
+    config: HeatEquationConfig,
+    amplitude: float = 1.0,
+    mode_x: int = 1,
+    mode_y: int = 1,
+) -> tuple[Array, float]:
+    """Initial field and decay rate of a separable eigenmode of the Laplacian.
+
+    With homogeneous Dirichlet boundaries, ``sin(k_x x) * sin(k_y y)`` decays
+    exactly as ``exp(-alpha (k_x^2 + k_y^2) t)``.  Returns the initial interior
+    field (full grid with zero boundary) and the continuous decay rate
+    ``alpha * (k_x^2 + k_y^2)``; used to measure the temporal order of accuracy
+    of the implicit scheme.
+    """
+    x = np.linspace(0.0, config.length_x, config.nx)
+    y = np.linspace(0.0, config.length_y, config.ny)
+    kx = mode_x * np.pi / config.length_x
+    ky = mode_y * np.pi / config.length_y
+    field = amplitude * np.outer(np.sin(ky * y), np.sin(kx * x))
+    rate = config.alpha * (kx**2 + ky**2)
+    return field, rate

@@ -1,0 +1,237 @@
+"""Sequential 2-D heat-equation solver (the paper's data-generating simulation).
+
+The PDE is Equation (2) of the paper::
+
+    dT/dt = alpha * laplacian(T)
+    T(x, y, 0) = T_IC
+    T(0, y, t) = T_x1,  T(L, y, t) = T_x2
+    T(x, 0, t) = T_y1,  T(x, L, t) = T_y2
+
+discretised with second-order central differences in space and an implicit
+(backward) Euler scheme in time, exactly as the paper's Fortran solver.  The
+implicit system ``(I - dt * alpha * L) u^{n+1} = u^n + dt * alpha * b`` is
+solved either with a pre-computed sparse LU factorisation (the system matrix
+is constant) or with conjugate gradients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Literal, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.solvers.base import SolverConfig, TimeSeries
+from repro.solvers.stencil import (
+    apply_laplacian_field,
+    boundary_contribution,
+    build_laplacian,
+    embed_interior,
+)
+
+Array = np.ndarray
+
+#: Parameter sampling range used by the paper: temperatures in [100, 500] K.
+PARAMETER_RANGE: Tuple[float, float] = (100.0, 500.0)
+
+
+@dataclass(frozen=True)
+class HeatParameters:
+    """The 5-dimensional input vector ``X`` of a heat-equation run.
+
+    Attributes map to the paper's ``(T_IC, T_x1, T_y1, T_x2, T_y2)``: the
+    initial temperature and the four Dirichlet boundary temperatures.
+    """
+
+    t_ic: float
+    t_x1: float
+    t_y1: float
+    t_x2: float
+    t_y2: float
+
+    def as_array(self) -> Array:
+        """Parameters in the paper's canonical order."""
+        return np.asarray([self.t_ic, self.t_x1, self.t_y1, self.t_x2, self.t_y2])
+
+    def as_tuple(self) -> Tuple[float, float, float, float, float]:
+        return (self.t_ic, self.t_x1, self.t_y1, self.t_x2, self.t_y2)
+
+    @staticmethod
+    def from_array(values: Array) -> "HeatParameters":
+        values = np.asarray(values, dtype=float).ravel()
+        if values.size != 5:
+            raise ValueError(f"expected 5 parameters (T_IC, T_x1, T_y1, T_x2, T_y2), got {values.size}")
+        return HeatParameters(*values.tolist())
+
+    def validate_range(self, low: float = PARAMETER_RANGE[0], high: float = PARAMETER_RANGE[1]) -> None:
+        """Raise if any temperature falls outside the sampling range."""
+        values = self.as_array()
+        if np.any(values < low) or np.any(values > high):
+            raise ValueError(
+                f"parameters {values} outside the allowed range [{low}, {high}]"
+            )
+
+
+@dataclass(frozen=True)
+class HeatEquationConfig(SolverConfig):
+    """Heat-equation specific configuration: adds the thermal diffusivity."""
+
+    alpha: float = 1.0
+    linear_solver: Literal["lu", "cg"] = "lu"
+    cg_tol: float = 1e-10
+    cg_max_iter: int = 2_000
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.alpha <= 0:
+            raise ValueError("thermal diffusivity alpha must be positive")
+
+    def paper_scale() -> "HeatEquationConfig":  # type: ignore[misc]
+        """The full-scale configuration used in the paper (1000x1000 grid)."""
+        return HeatEquationConfig(nx=1000, ny=1000, dt=0.01, num_steps=100, alpha=1.0)
+
+    paper_scale = staticmethod(paper_scale)
+
+
+class HeatEquationSolver:
+    """Implicit-Euler finite-difference solver for the 2-D heat equation.
+
+    The solver exposes two entry points:
+
+    * :meth:`run` — run all time steps and return a :class:`TimeSeries`.
+    * :meth:`iter_steps` — generator yielding ``(step, time, field)`` one step
+      at a time; this is what the online client uses to stream each time step
+      to the server *as soon as it is computed*.
+    """
+
+    def __init__(self, config: HeatEquationConfig) -> None:
+        self.config = config
+        cfg = config
+        self._laplacian = build_laplacian(cfg.ny, cfg.nx, cfg.dx, cfg.dy)
+        identity = sp.identity(cfg.num_interior, format="csr")
+        self._system = (identity - cfg.dt * cfg.alpha * self._laplacian).tocsc()
+        self._lu: spla.SuperLU | None = None
+        if cfg.linear_solver == "lu":
+            self._lu = spla.splu(self._system)
+
+    # ------------------------------------------------------------------ steps
+    def _boundary_vector(self, params: HeatParameters) -> Array:
+        cfg = self.config
+        return boundary_contribution(
+            cfg.ny,
+            cfg.nx,
+            cfg.dx,
+            cfg.dy,
+            west=params.t_x1,
+            east=params.t_x2,
+            south=params.t_y1,
+            north=params.t_y2,
+        )
+
+    def _solve(self, rhs: Array) -> Array:
+        if self._lu is not None:
+            return self._lu.solve(rhs)
+        cfg = self.config
+        solution, info = spla.cg(
+            self._system,
+            rhs,
+            rtol=cfg.cg_tol,
+            maxiter=cfg.cg_max_iter,
+        )
+        if info != 0:
+            raise RuntimeError(f"CG failed to converge (info={info})")
+        return solution
+
+    def iter_steps(self, params: HeatParameters) -> Iterator[Tuple[int, float, Array]]:
+        """Yield ``(step_index, time, full_field)`` for each produced time step.
+
+        ``step_index`` runs from 1 to ``num_steps``; the initial condition
+        (step 0) is not emitted, matching the paper where clients send the
+        fields they compute.
+        """
+        cfg = self.config
+        boundary = self._boundary_vector(params)
+        interior = np.full(cfg.num_interior, float(params.t_ic))
+        for step in range(1, cfg.num_steps + 1):
+            rhs = interior + cfg.dt * cfg.alpha * boundary
+            interior = self._solve(rhs)
+            time = step * cfg.dt
+            field = embed_interior(
+                interior,
+                cfg.ny,
+                cfg.nx,
+                west=params.t_x1,
+                east=params.t_x2,
+                south=params.t_y1,
+                north=params.t_y2,
+            )
+            yield step, time, field
+
+    def run(self, params: HeatParameters) -> TimeSeries:
+        """Run the full simulation and collect every time step."""
+        series = TimeSeries()
+        for _, time, field in self.iter_steps(params):
+            series.append(time, field)
+        return series
+
+    # -------------------------------------------------------------- utilities
+    def steady_state(self, params: HeatParameters) -> Array:
+        """Solve the stationary problem ``laplacian(T) = 0`` with the same BCs."""
+        boundary = self._boundary_vector(params)
+        interior = spla.spsolve(self._laplacian.tocsc(), -boundary)
+        return embed_interior(
+            interior,
+            self.config.ny,
+            self.config.nx,
+            west=params.t_x1,
+            east=params.t_x2,
+            south=params.t_y1,
+            north=params.t_y2,
+        )
+
+    @property
+    def field_size(self) -> int:
+        """Number of scalars per produced field (the surrogate's output size)."""
+        return self.config.num_points
+
+
+class ExplicitHeatSolver:
+    """Forward-Euler variant, used to cross-check the implicit solver.
+
+    Only stable when ``dt <= dx^2 dy^2 / (2 alpha (dx^2 + dy^2))``.
+    """
+
+    def __init__(self, config: HeatEquationConfig) -> None:
+        self.config = config
+        stable = explicit_step_stable_dt(config)
+        if config.dt > stable:
+            raise ValueError(
+                f"explicit solver unstable: dt={config.dt} exceeds the stability limit {stable:.3e}"
+            )
+
+    def iter_steps(self, params: HeatParameters) -> Iterator[Tuple[int, float, Array]]:
+        cfg = self.config
+        field = np.full(cfg.grid_shape, float(params.t_ic))
+        field[:, 0] = params.t_x1
+        field[:, -1] = params.t_x2
+        field[0, :] = params.t_y1
+        field[-1, :] = params.t_y2
+        for step in range(1, cfg.num_steps + 1):
+            lap = apply_laplacian_field(field, cfg.dx, cfg.dy)
+            field = field.copy()
+            field[1:-1, 1:-1] += cfg.dt * cfg.alpha * lap
+            yield step, step * cfg.dt, field
+
+    def run(self, params: HeatParameters) -> TimeSeries:
+        series = TimeSeries()
+        for _, time, field in self.iter_steps(params):
+            series.append(time, field)
+        return series
+
+
+def explicit_step_stable_dt(config: HeatEquationConfig) -> float:
+    """Largest stable forward-Euler time step for the given discretisation."""
+    dx2, dy2 = config.dx**2, config.dy**2
+    return dx2 * dy2 / (2.0 * config.alpha * (dx2 + dy2))

@@ -1,0 +1,119 @@
+"""Finite-difference stencils for the 2-D heat equation.
+
+The unknowns are the interior nodes of an ``ny`` x ``nx`` grid (boundary nodes
+carry Dirichlet values).  :func:`build_laplacian` assembles the standard
+5-point Laplacian over the interior in CSR format, and
+:func:`boundary_contribution` builds the right-hand-side vector holding the
+Dirichlet boundary terms that the stencil reaches.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+Array = np.ndarray
+
+
+def build_laplacian(ny: int, nx: int, dx: float, dy: float) -> sp.csr_matrix:
+    """Assemble the 5-point Laplacian over the ``(ny-2) x (nx-2)`` interior nodes.
+
+    The operator maps the flattened interior field (row-major, y first) to its
+    discrete Laplacian, assuming homogeneous Dirichlet data (the inhomogeneous
+    part is added separately by :func:`boundary_contribution`).
+    """
+    if ny < 3 or nx < 3:
+        raise ValueError("need at least one interior point in each direction")
+    niy, nix = ny - 2, nx - 2
+    inv_dx2 = 1.0 / dx**2
+    inv_dy2 = 1.0 / dy**2
+
+    # 1-D second-difference operators with Dirichlet boundaries.
+    def second_difference(n: int, inv_h2: float) -> sp.csr_matrix:
+        main = np.full(n, -2.0 * inv_h2)
+        off = np.full(n - 1, inv_h2)
+        return sp.diags([off, main, off], offsets=[-1, 0, 1], format="csr")
+
+    laplacian = sp.kronsum(
+        second_difference(nix, inv_dx2),
+        second_difference(niy, inv_dy2),
+        format="csr",
+    )
+    return laplacian.tocsr()
+
+
+def boundary_contribution(
+    ny: int,
+    nx: int,
+    dx: float,
+    dy: float,
+    west: float,
+    east: float,
+    south: float,
+    north: float,
+) -> Array:
+    """Dirichlet boundary terms of the Laplacian for constant edge temperatures.
+
+    Parameters are the boundary temperatures of the four edges:
+    ``west`` = T(x=0), ``east`` = T(x=L), ``south`` = T(y=0), ``north`` = T(y=L).
+    Returns the flattened vector over interior nodes to *add* to ``L @ u``.
+    """
+    niy, nix = ny - 2, nx - 2
+    inv_dx2 = 1.0 / dx**2
+    inv_dy2 = 1.0 / dy**2
+    contribution = np.zeros((niy, nix))
+    contribution[:, 0] += west * inv_dx2
+    contribution[:, -1] += east * inv_dx2
+    contribution[0, :] += south * inv_dy2
+    contribution[-1, :] += north * inv_dy2
+    return contribution.ravel()
+
+
+def apply_laplacian_field(field: Array, dx: float, dy: float) -> Array:
+    """Apply the 5-point Laplacian to the interior of a full field (with boundaries).
+
+    ``field`` has shape (ny, nx) including boundary nodes; the result has shape
+    (ny-2, nx-2).  Used by the explicit solver and by tests as an independent
+    check of the assembled sparse operator.
+    """
+    field = np.asarray(field)
+    interior = field[1:-1, 1:-1]
+    lap = (
+        (field[1:-1, :-2] - 2.0 * interior + field[1:-1, 2:]) / dx**2
+        + (field[:-2, 1:-1] - 2.0 * interior + field[2:, 1:-1]) / dy**2
+    )
+    return lap
+
+
+def embed_interior(
+    interior: Array,
+    ny: int,
+    nx: int,
+    west: float,
+    east: float,
+    south: float,
+    north: float,
+) -> Array:
+    """Build the full (ny, nx) field from interior values and Dirichlet boundaries.
+
+    Corner nodes take the average of their two adjacent edges, a convention
+    that only affects plotting/training data, not the numerical solution.
+    """
+    field = np.empty((ny, nx))
+    field[1:-1, 1:-1] = np.asarray(interior).reshape(ny - 2, nx - 2)
+    field[:, 0] = west
+    field[:, -1] = east
+    field[0, :] = south
+    field[-1, :] = north
+    field[0, 0] = 0.5 * (west + south)
+    field[0, -1] = 0.5 * (east + south)
+    field[-1, 0] = 0.5 * (west + north)
+    field[-1, -1] = 0.5 * (east + north)
+    return field
+
+
+def interior_shape(ny: int, nx: int) -> Tuple[int, int]:
+    """Shape of the interior node grid."""
+    return ny - 2, nx - 2

@@ -1,0 +1,28 @@
+"""Shared utilities: seeding, logging, timing and exceptions."""
+
+from repro.utils.exceptions import (
+    BufferClosedError,
+    CommunicatorError,
+    ConfigurationError,
+    FaultToleranceError,
+    ReproError,
+    SchedulerError,
+)
+from repro.utils.seeding import SeedSequenceFactory, derive_rng, set_global_seed
+from repro.utils.timing import Stopwatch, Timer, VirtualClock, WallClock
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "BufferClosedError",
+    "CommunicatorError",
+    "SchedulerError",
+    "FaultToleranceError",
+    "SeedSequenceFactory",
+    "derive_rng",
+    "set_global_seed",
+    "Timer",
+    "Stopwatch",
+    "WallClock",
+    "VirtualClock",
+]

@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a study or component configuration is invalid."""
+
+
+class BufferClosedError(ReproError):
+    """Raised when interacting with a training buffer after it was closed."""
+
+
+class CommunicatorError(ReproError):
+    """Raised on invalid use of the SPMD communicator (bad rank, closed, ...)."""
+
+
+class SchedulerError(ReproError):
+    """Raised by the simulated batch scheduler (unknown job, no resources...)."""
+
+
+class FaultToleranceError(ReproError):
+    """Raised when fault handling cannot recover a component."""
+
+
+class CheckpointError(ReproError):
+    """Raised when saving or restoring a checkpoint fails."""

@@ -1,0 +1,197 @@
+"""Tests for the FIFO and FIRO training buffers."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.buffers import FIFOBuffer, FIROBuffer, make_buffer
+from repro.buffers.base import SampleRecord
+from repro.utils.exceptions import BufferClosedError
+
+
+def record(index: int) -> SampleRecord:
+    return SampleRecord(
+        inputs=np.array([float(index)], dtype=np.float32),
+        target=np.array([float(index)], dtype=np.float32),
+        source_id=index // 10,
+        time_step=index % 10,
+    )
+
+
+def test_buffer_validation():
+    with pytest.raises(ValueError):
+        FIFOBuffer(capacity=0)
+    with pytest.raises(ValueError):
+        FIROBuffer(capacity=10, threshold=11)
+    with pytest.raises(ValueError):
+        FIROBuffer(capacity=10, threshold=-1)
+
+
+def test_make_buffer_factory():
+    assert isinstance(make_buffer("fifo", 10), FIFOBuffer)
+    assert isinstance(make_buffer("firo", 10, threshold=2), FIROBuffer)
+    with pytest.raises(KeyError):
+        make_buffer("ring", 10)
+
+
+def test_fifo_preserves_order():
+    buffer = FIFOBuffer(capacity=10)
+    for i in range(5):
+        buffer.put(record(i))
+    order = [buffer.get().inputs[0] for _ in range(5)]
+    assert order == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_fifo_each_sample_seen_once():
+    buffer = FIFOBuffer(capacity=100)
+    for i in range(30):
+        buffer.put(record(i))
+    buffer.signal_reception_over()
+    seen = []
+    while True:
+        item = buffer.get()
+        if item is None:
+            break
+        seen.append(item.key())
+    assert len(seen) == 30
+    assert len(set(seen)) == 30
+    assert buffer.exhausted
+
+
+def test_fifo_try_put_respects_capacity():
+    buffer = FIFOBuffer(capacity=2)
+    assert buffer.try_put(record(0))
+    assert buffer.try_put(record(1))
+    assert not buffer.try_put(record(2))
+    buffer.get()
+    assert buffer.try_put(record(2))
+
+
+def test_fifo_put_blocks_until_space():
+    """A blocked producer resumes when the consumer frees a slot (back-pressure)."""
+    buffer = FIFOBuffer(capacity=1)
+    buffer.put(record(0))
+    done = threading.Event()
+
+    def producer():
+        buffer.put(record(1), timeout=5.0)
+        done.set()
+
+    thread = threading.Thread(target=producer, daemon=True)
+    thread.start()
+    assert not done.wait(0.1)
+    assert buffer.get() is not None
+    assert done.wait(2.0)
+    thread.join()
+
+
+def test_fifo_get_timeout():
+    buffer = FIFOBuffer(capacity=2)
+    with pytest.raises(TimeoutError):
+        buffer.get(timeout=0.05)
+
+
+def test_get_batch_partial_when_exhausted():
+    buffer = FIFOBuffer(capacity=10)
+    for i in range(7):
+        buffer.put(record(i))
+    buffer.signal_reception_over()
+    batch = buffer.get_batch(5)
+    assert len(batch) == 5
+    batch = buffer.get_batch(5)
+    assert len(batch) == 2  # only two remained
+
+
+def test_get_returns_none_when_exhausted_and_empty():
+    buffer = FIFOBuffer(capacity=4)
+    buffer.signal_reception_over()
+    assert buffer.get(timeout=1.0) is None
+
+
+def test_closed_buffer_raises_on_put_and_returns_none_on_get():
+    buffer = FIFOBuffer(capacity=4)
+    buffer.put(record(0))
+    buffer.close()
+    with pytest.raises(BufferClosedError):
+        buffer.put(record(1))
+    assert buffer.get(timeout=0.5) is None
+
+
+def test_close_unblocks_waiting_consumer():
+    buffer = FIFOBuffer(capacity=4)
+    results = []
+
+    def consumer():
+        results.append(buffer.get(timeout=5.0))
+
+    thread = threading.Thread(target=consumer, daemon=True)
+    thread.start()
+    buffer.close()
+    thread.join(timeout=2.0)
+    assert results == [None]
+
+
+def test_firo_threshold_blocks_reads():
+    buffer = FIROBuffer(capacity=20, threshold=5, seed=0)
+    for i in range(5):
+        buffer.put(record(i))
+    # Population equals the threshold: reads must block.
+    with pytest.raises(TimeoutError):
+        buffer.get(timeout=0.05)
+    buffer.put(record(5))
+    assert buffer.get(timeout=1.0) is not None
+
+
+def test_firo_threshold_released_at_end_of_reception():
+    buffer = FIROBuffer(capacity=20, threshold=5, seed=0)
+    for i in range(3):
+        buffer.put(record(i))
+    buffer.signal_reception_over()
+    drained = [buffer.get() for _ in range(3)]
+    assert all(item is not None for item in drained)
+    assert buffer.get(timeout=0.5) is None
+
+
+def test_firo_yields_each_sample_exactly_once():
+    buffer = FIROBuffer(capacity=50, threshold=0, seed=1)
+    keys = set()
+    for i in range(40):
+        buffer.put(record(i))
+        keys.add(record(i).key())
+    buffer.signal_reception_over()
+    seen = []
+    while True:
+        item = buffer.get()
+        if item is None:
+            break
+        seen.append(item.key())
+    assert sorted(seen) == sorted(keys)
+
+
+def test_firo_randomizes_order():
+    buffer = FIROBuffer(capacity=100, threshold=0, seed=2)
+    for i in range(60):
+        buffer.put(record(i))
+    buffer.signal_reception_over()
+    order = []
+    while True:
+        item = buffer.get()
+        if item is None:
+            break
+        order.append(item.inputs[0])
+    assert order != sorted(order)
+
+
+def test_snapshot_counters():
+    buffer = FIROBuffer(capacity=10, threshold=2, seed=0)
+    for i in range(5):
+        buffer.put(record(i))
+    buffer.get()
+    snap = buffer.snapshot()
+    assert snap["size"] == 4
+    assert snap["capacity"] == 10
+    assert snap["threshold"] == 2
+    assert snap["total_put"] == 5
+    assert snap["total_got"] == 1
+    assert not snap["reception_over"]

@@ -1,0 +1,84 @@
+"""Tests for occurrence tracking and residency-time analysis."""
+
+import numpy as np
+import pytest
+
+from repro.buffers.stats import (
+    BufferStatistics,
+    OccurrenceTracker,
+    expected_residency_time,
+    measure_residency_times,
+)
+
+
+def test_occurrence_tracker_counts():
+    tracker = OccurrenceTracker()
+    tracker.record(("a", 1))
+    tracker.record(("a", 1))
+    tracker.record(("b", 2))
+    assert tracker.count(("a", 1)) == 2
+    assert tracker.count(("missing", 0)) == 0
+    assert tracker.num_unique == 2
+    assert tracker.total_occurrences == 3
+    assert tracker.max_occurrences() == 2
+    assert tracker.mean_occurrences() == pytest.approx(1.5)
+
+
+def test_occurrence_tracker_histogram():
+    tracker = OccurrenceTracker()
+    tracker.record_batch([("a", 0), ("b", 0), ("a", 0), ("c", 0), ("a", 0)])
+    histogram = tracker.histogram()
+    # a seen 3 times, b and c once each -> {1: 2, 3: 1}
+    assert histogram == {1: 2, 3: 1}
+
+
+def test_occurrence_tracker_empty():
+    tracker = OccurrenceTracker()
+    assert tracker.histogram() == {}
+    assert tracker.max_occurrences() == 0
+    assert tracker.mean_occurrences() == 0.0
+
+
+def test_buffer_statistics_series():
+    stats = BufferStatistics()
+    stats.record(0.0, 10, unseen=5, throughput=100.0)
+    stats.record(1.0, 20, unseen=8, throughput=200.0)
+    stats.record(2.0, 30)
+    times, sizes, throughputs = stats.as_arrays()
+    assert times.tolist() == [0.0, 1.0, 2.0]
+    assert sizes.tolist() == [10, 20, 30]
+    assert stats.mean_population() == pytest.approx(20.0)
+    assert stats.mean_throughput() == pytest.approx(150.0)  # NaN entries excluded
+
+
+def test_expected_residency_time_formula():
+    """Appendix A: E[residency] = n - 1."""
+    assert expected_residency_time(10) == 9.0
+    assert expected_residency_time(6000) == 5999.0
+    with pytest.raises(ValueError):
+        expected_residency_time(0)
+
+
+@pytest.mark.parametrize("capacity", [8, 32, 128])
+def test_measured_residency_matches_appendix_a(capacity):
+    residencies = measure_residency_times(capacity, num_insertions=capacity * 400, seed=1)
+    assert residencies.size > 0
+    measured = residencies.mean()
+    expected = expected_residency_time(capacity)
+    # Monte-Carlo estimate: allow ~10% relative tolerance.
+    assert measured == pytest.approx(expected, rel=0.10)
+
+
+def test_measured_residency_geometric_distribution_shape():
+    """The residency distribution is geometric with parameter 1/n."""
+    capacity = 16
+    residencies = measure_residency_times(capacity, num_insertions=capacity * 2000, seed=2)
+    p_zero = np.mean(residencies == 0)
+    assert p_zero == pytest.approx(1.0 / capacity, rel=0.2)
+
+
+def test_measure_residency_validation():
+    with pytest.raises(ValueError):
+        measure_residency_times(0, 10)
+    with pytest.raises(ValueError):
+        measure_residency_times(10, 0)

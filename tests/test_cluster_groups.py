@@ -1,0 +1,83 @@
+"""Tests for job groups and the client-series submitter."""
+
+import pytest
+
+from repro.cluster import BatchScheduler, ClusterSpec, Job, JobGroup, JobState, NodeSpec, Partition
+from repro.cluster.groups import SeriesSubmitter
+
+
+def cluster(cores=8):
+    spec = ClusterSpec()
+    spec.add_partition(Partition("cpu", NodeSpec("cpu", cores=cores), 1))
+    return spec
+
+
+def client_job(name, cores=2, runtime=10.0):
+    return Job(name=name, partition="cpu", cores=cores, runtime=runtime)
+
+
+def test_job_group_status_flags():
+    scheduler = BatchScheduler(cluster())
+    group = JobGroup(name="g")
+    group.add(scheduler.submit(client_job("a")))
+    group.add(scheduler.submit(client_job("b")))
+    assert group.num_running == 2
+    assert not group.all_finished
+    scheduler.run_until_idle()
+    assert group.all_finished and group.all_completed
+
+
+def test_series_submitter_runs_series_in_order():
+    """Series i+1 only starts once series i completed (paper submission scheme)."""
+    scheduler = BatchScheduler(cluster(cores=8))
+    series = [
+        [client_job(f"s0-{i}", cores=2, runtime=10.0) for i in range(4)],
+        [client_job(f"s1-{i}", cores=2, runtime=10.0) for i in range(4)],
+        [client_job(f"s2-{i}", cores=2, runtime=10.0) for i in range(2)],
+    ]
+    started_series = []
+    submitter = SeriesSubmitter(scheduler, series, on_series_start=started_series.append)
+    submitter.start()
+    assert started_series == [0]
+    assert submitter.current_series == 0
+
+    # Advance through the first series.
+    submitter.step(10.0)
+    submitter.step(0.0)
+    assert 1 in started_series
+    # Second series runs.
+    submitter.step(10.0)
+    submitter.step(0.0)
+    assert started_series == [0, 1, 2]
+    submitter.step(10.0)
+    assert submitter.finished
+    assert scheduler.stats.completed == 10
+
+
+def test_series_submitter_with_delay():
+    scheduler = BatchScheduler(cluster(cores=8))
+    series = [[client_job("a", runtime=5.0)], [client_job("b", runtime=5.0)]]
+    submitter = SeriesSubmitter(scheduler, series, inter_series_delay=4.0)
+    submitter.start()
+    submitter.step(5.0)   # first series completes
+    assert submitter.current_series == 0
+    submitter.step(2.0)   # delay not yet elapsed
+    assert submitter.current_series == 0
+    submitter.step(3.0)   # delay elapsed, second series submitted
+    assert submitter.current_series == 1
+    submitter.step(5.0)
+    assert submitter.finished
+
+
+def test_series_submitter_concurrency_limited_by_resources():
+    """Only as many clients run as the partition can host (inter-simulation bias)."""
+    scheduler = BatchScheduler(cluster(cores=4))
+    series = [[client_job(f"c{i}", cores=2, runtime=10.0) for i in range(4)]]
+    submitter = SeriesSubmitter(scheduler, series)
+    submitter.start()
+    running = [job for group in submitter.groups for job in group.jobs
+               if job.state == JobState.RUNNING]
+    assert len(running) == 2  # 4 cores / 2 cores per client
+    submitter.step(10.0)
+    submitter.step(10.0)
+    assert submitter.finished

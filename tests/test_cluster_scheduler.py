@@ -1,0 +1,161 @@
+"""Tests for the simulated cluster resources and batch scheduler."""
+
+import pytest
+
+from repro.cluster import (
+    AllocationPolicy,
+    BatchScheduler,
+    ClusterSpec,
+    Job,
+    JobState,
+    NodeSpec,
+    Partition,
+)
+from repro.cluster.resources import jean_zay_like
+from repro.utils.exceptions import SchedulerError
+
+
+def small_cluster(cpu_nodes=2, cores=4, gpu_nodes=1, gpus=2) -> ClusterSpec:
+    spec = ClusterSpec()
+    spec.add_partition(Partition("cpu", NodeSpec("cpu-node", cores=cores), cpu_nodes))
+    spec.add_partition(Partition("gpu", NodeSpec("gpu-node", cores=cores, gpus=gpus), gpu_nodes))
+    return spec
+
+
+def test_node_and_partition_validation():
+    with pytest.raises(ValueError):
+        NodeSpec("bad", cores=0)
+    with pytest.raises(ValueError):
+        Partition("p", NodeSpec("n", cores=1), num_nodes=0)
+
+
+def test_cluster_spec_totals_and_lookup():
+    spec = small_cluster()
+    assert spec.total_cores == 2 * 4 + 4
+    assert spec.total_gpus == 2
+    assert spec.partition("cpu").total_cores == 8
+    with pytest.raises(KeyError):
+        spec.partition("nope")
+    with pytest.raises(ValueError):
+        spec.add_partition(Partition("cpu", NodeSpec("n", cores=1), 1))
+
+
+def test_jean_zay_like_defaults():
+    spec = jean_zay_like(cpu_nodes=128, gpu_nodes=1)
+    assert spec.partition("cpu").total_cores == 128 * 40
+    assert spec.partition("gpu").total_gpus == 4
+
+
+def test_job_validation():
+    with pytest.raises(ValueError):
+        Job(name="bad", partition="cpu", cores=0)
+    with pytest.raises(ValueError):
+        Job(name="bad", partition="cpu", cores=1, runtime=-1.0)
+
+
+def test_submit_and_run_single_job():
+    scheduler = BatchScheduler(small_cluster())
+    job = scheduler.submit(Job(name="client", partition="cpu", cores=4, runtime=10.0))
+    assert job.state == JobState.RUNNING  # resources were free
+    completed = scheduler.advance(10.0)
+    assert completed == [job]
+    assert job.state == JobState.COMPLETED
+    assert job.end_time == pytest.approx(10.0)
+
+
+def test_submit_unknown_partition_or_oversized_job():
+    scheduler = BatchScheduler(small_cluster())
+    with pytest.raises(SchedulerError):
+        scheduler.submit(Job(name="x", partition="bigmem", cores=1))
+    with pytest.raises(SchedulerError):
+        scheduler.submit(Job(name="x", partition="cpu", cores=1000))
+
+
+def test_jobs_queue_when_resources_busy():
+    scheduler = BatchScheduler(small_cluster(cpu_nodes=1, cores=4))
+    first = scheduler.submit(Job(name="a", partition="cpu", cores=4, runtime=5.0))
+    second = scheduler.submit(Job(name="b", partition="cpu", cores=4, runtime=5.0))
+    assert first.state == JobState.RUNNING
+    assert second.state == JobState.PENDING
+    scheduler.advance(5.0)
+    assert second.state == JobState.RUNNING
+    assert second.wait_time == pytest.approx(5.0)
+    scheduler.advance(5.0)
+    assert second.state == JobState.COMPLETED
+
+
+def test_gpu_accounting():
+    scheduler = BatchScheduler(small_cluster())
+    a = scheduler.submit(Job(name="train-a", partition="gpu", cores=1, gpus=2, runtime=4.0))
+    b = scheduler.submit(Job(name="train-b", partition="gpu", cores=1, gpus=1, runtime=4.0))
+    assert a.state == JobState.RUNNING
+    assert b.state == JobState.PENDING  # only 2 GPUs in the partition
+    scheduler.advance(4.0)
+    assert b.state == JobState.RUNNING
+
+
+def test_fifo_blocks_behind_large_job_but_backfill_does_not():
+    # FIFO: a large pending job blocks later small ones.
+    fifo = BatchScheduler(small_cluster(cpu_nodes=1, cores=4), policy=AllocationPolicy.FIFO)
+    fifo.submit(Job(name="big-running", partition="cpu", cores=3, runtime=10.0))
+    fifo.submit(Job(name="big-pending", partition="cpu", cores=4, runtime=1.0))
+    small_fifo = fifo.submit(Job(name="small", partition="cpu", cores=1, runtime=1.0))
+    assert small_fifo.state == JobState.PENDING
+
+    backfill = BatchScheduler(small_cluster(cpu_nodes=1, cores=4), policy=AllocationPolicy.BACKFILL)
+    backfill.submit(Job(name="big-running", partition="cpu", cores=3, runtime=10.0))
+    backfill.submit(Job(name="big-pending", partition="cpu", cores=4, runtime=1.0))
+    small_backfill = backfill.submit(Job(name="small", partition="cpu", cores=1, runtime=1.0))
+    assert small_backfill.state == JobState.RUNNING
+
+
+def test_cancel_pending_and_running_jobs():
+    scheduler = BatchScheduler(small_cluster(cpu_nodes=1, cores=4))
+    running = scheduler.submit(Job(name="a", partition="cpu", cores=4, runtime=100.0))
+    pending = scheduler.submit(Job(name="b", partition="cpu", cores=4, runtime=1.0))
+    scheduler.cancel(pending.job_id)
+    assert pending.state == JobState.CANCELLED
+    scheduler.cancel(running.job_id)
+    assert running.state == JobState.CANCELLED
+    assert scheduler.utilization("cpu") == 0.0
+
+
+def test_fail_running_job_releases_resources():
+    scheduler = BatchScheduler(small_cluster(cpu_nodes=1, cores=4))
+    job = scheduler.submit(Job(name="a", partition="cpu", cores=4, runtime=100.0))
+    scheduler.fail(job.job_id)
+    assert job.state == JobState.FAILED
+    assert scheduler.stats.failed == 1
+    next_job = scheduler.submit(Job(name="b", partition="cpu", cores=4, runtime=1.0))
+    assert next_job.state == JobState.RUNNING
+    with pytest.raises(SchedulerError):
+        scheduler.fail(job.job_id)
+
+
+def test_on_complete_callback_and_stats():
+    completed_names = []
+    scheduler = BatchScheduler(small_cluster())
+    scheduler.submit(
+        Job(name="cb", partition="cpu", cores=2, runtime=3.0,
+            on_complete=lambda job: completed_names.append(job.name))
+    )
+    scheduler.run_until_idle()
+    assert completed_names == ["cb"]
+    assert scheduler.stats.completed == 1
+    assert scheduler.stats.core_seconds == pytest.approx(6.0)
+
+
+def test_run_until_idle_detects_stuck_state():
+    scheduler = BatchScheduler(small_cluster(cpu_nodes=1, cores=4))
+    # Occupy everything forever-ish, then cancel so pending job becomes startable.
+    blocker = scheduler.submit(Job(name="blocker", partition="cpu", cores=4, runtime=5.0))
+    waiter = scheduler.submit(Job(name="waiter", partition="cpu", cores=2, runtime=2.0))
+    final_time = scheduler.run_until_idle()
+    assert final_time == pytest.approx(7.0)
+    assert blocker.state == JobState.COMPLETED and waiter.state == JobState.COMPLETED
+
+
+def test_unknown_job_id_raises():
+    scheduler = BatchScheduler(small_cluster())
+    with pytest.raises(SchedulerError):
+        scheduler.job(9999)

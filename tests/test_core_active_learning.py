@@ -1,0 +1,109 @@
+"""Tests for the adaptive experimental-design extension (paper future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.active_learning import (
+    AdaptiveSampler,
+    run_adaptive_rounds,
+    surrogate_error_oracle,
+)
+from repro.nn import Linear, Sequential
+from repro.sampling.base import ParameterSpace
+
+
+@pytest.fixture
+def space():
+    return ParameterSpace.uniform_box(100.0, 500.0, 5)
+
+
+def test_adaptive_sampler_validation(space):
+    with pytest.raises(ValueError):
+        AdaptiveSampler(space, candidate_pool_size=0)
+    with pytest.raises(ValueError):
+        AdaptiveSampler(space, exploration_fraction=1.5)
+    with pytest.raises(ValueError):
+        AdaptiveSampler(space).sample(0)
+
+
+def test_adaptive_sampler_without_oracle_is_uniform(space):
+    sampler = AdaptiveSampler(space, error_oracle=None, seed=0)
+    samples = sampler.sample(12)
+    assert samples.shape == (12, 5)
+    assert space.contains(samples).all()
+    assert sampler.history[-1].explored == 12
+    assert sampler.num_drawn == 12
+
+
+def test_adaptive_sampler_concentrates_on_high_error_region(space):
+    """With a known error landscape the proposals concentrate where error is high."""
+
+    def oracle(candidates):
+        # Error is largest when the first coordinate (T_IC) is high.
+        return candidates[:, 0]
+
+    sampler = AdaptiveSampler(space, error_oracle=oracle, candidate_pool_size=512,
+                              exploration_fraction=0.0, seed=1)
+    proposed = sampler.sample(16)
+    # Everything proposed sits in the top part of the T_IC range.
+    assert proposed[:, 0].min() > 400.0
+    result = sampler.history[-1]
+    assert result.exploited == 16 and result.explored == 0
+    assert np.all(np.diff(np.sort(result.scores)) >= 0)
+
+
+def test_adaptive_sampler_exploration_fraction(space):
+    def oracle(candidates):
+        return candidates[:, 0]
+
+    sampler = AdaptiveSampler(space, error_oracle=oracle, exploration_fraction=0.5, seed=2)
+    result = sampler.propose(10)
+    assert result.exploited == 5 and result.explored == 5
+    assert result.num_proposed == 10
+    assert space.contains(result.proposed).all()
+
+
+def test_adaptive_sampler_rejects_bad_oracle(space):
+    sampler = AdaptiveSampler(space, error_oracle=lambda c: np.zeros(3), seed=0)
+    with pytest.raises(ValueError):
+        sampler.propose(4)
+
+
+def test_surrogate_error_oracle_prefers_poorly_fit_candidates(space):
+    """The oracle scores candidates by the surrogate's error against a reference."""
+    rng = np.random.default_rng(0)
+    model = Sequential(Linear(6, 4, rng=rng), Linear(4, 8, rng=rng))
+
+    def reference(parameters):
+        # "Truth" is zero where T_IC is low, huge where T_IC is high: the
+        # random surrogate is therefore much worse on high-T_IC candidates.
+        scale = 0.0 if parameters[0] < 300.0 else 1000.0
+        return np.full((2, 8), scale, dtype=np.float32)
+
+    oracle = surrogate_error_oracle(model, reference, time_values=[0.1, 0.2])
+    low = np.array([150.0, 300.0, 300.0, 300.0, 300.0])
+    high = np.array([450.0, 300.0, 300.0, 300.0, 300.0])
+    errors = oracle(np.stack([low, high]))
+    assert errors.shape == (2,)
+    assert errors[1] > errors[0]
+
+
+def test_run_adaptive_rounds_drives_training_callback(space):
+    trained_on = []
+
+    def oracle(candidates):
+        return candidates[:, 1]
+
+    sampler = AdaptiveSampler(space, error_oracle=oracle, exploration_fraction=0.2, seed=3)
+    reports = run_adaptive_rounds(
+        sampler,
+        train_round=lambda params: trained_on.append(params.copy()),
+        num_rounds=3,
+        clients_per_round=6,
+    )
+    assert len(reports) == 3
+    assert len(trained_on) == 3
+    assert all(batch.shape == (6, 5) for batch in trained_on)
+    assert all(report.max_candidate_error >= report.mean_candidate_error for report in reports)
+    with pytest.raises(ValueError):
+        run_adaptive_rounds(sampler, lambda p: None, num_rounds=0, clients_per_round=1)

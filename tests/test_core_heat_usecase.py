@@ -1,0 +1,94 @@
+"""Tests for the heat-equation use case wiring (factories, datasets, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import SurrogateArchitecture
+from repro.core.heat_usecase import HeatSurrogateCase, HeatSurrogateSpec
+from repro.offline.dataset import SimulationDataset
+from repro.solvers.heat2d import HeatEquationConfig, HeatParameters
+
+
+@pytest.fixture
+def case():
+    return HeatSurrogateCase(
+        HeatSurrogateSpec(
+            solver=HeatEquationConfig(nx=8, ny=8, num_steps=4),
+            architecture=SurrogateArchitecture(hidden_sizes=(8,)),
+            sampler="halton",
+            seed=11,
+        )
+    )
+
+
+def test_case_dimensions(case):
+    assert case.field_size == 64
+    assert case.input_size == 6
+    assert case.solver_config.num_steps == 4
+
+
+def test_model_factory_replicas_identical(case):
+    a = case.model_factory()
+    b = case.model_factory()
+    for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+        assert np.array_equal(pa.data, pb.data)
+    out = a.forward(np.zeros((2, 6), dtype=np.float32))
+    assert out.shape == (2, 64)
+
+
+def test_sample_parameters_within_paper_range(case):
+    samples = case.sample_parameters(16)
+    assert samples.shape == (16, 5)
+    assert samples.min() >= 100.0 and samples.max() <= 500.0
+    params = case.parameters_to_solver(samples[0])
+    assert isinstance(params, HeatParameters)
+
+
+def test_run_simulation_shapes(case):
+    times, fields = case.run_simulation(np.array([300.0, 300.0, 300.0, 300.0, 300.0]))
+    assert times.shape == (4,)
+    assert fields.shape == (4, 64)
+    assert fields.dtype == np.float32
+    assert np.allclose(fields, 300.0, atol=1e-3)
+
+
+def test_generate_validation_set_independent_of_training_design(case):
+    validation = case.generate_validation_set(num_simulations=2)
+    assert validation.num_samples == 2 * 4
+    assert validation.inputs.shape == (8, 6)
+    assert validation.targets.shape == (8, 64)
+    # Validation parameters come from a shifted sampler stream: they must not
+    # coincide with the first training parameters.
+    training = case.sample_parameters(2)
+    assert not np.allclose(validation.inputs[:1, :5], training[0])
+
+
+def test_generate_store_roundtrip(case, tmp_path):
+    store = case.generate_store(tmp_path / "store", num_simulations=3, workers=2)
+    assert len(store) == 3
+    dataset = SimulationDataset(store)
+    assert len(dataset) == 12
+    inputs, target = dataset[0]
+    assert inputs.shape == (6,)
+    assert target.shape == (64,)
+    # Regeneration with explicit parameter vectors honours the given order.
+    params = case.sample_parameters(2)
+    store2 = case.generate_store(tmp_path / "store2", num_simulations=2,
+                                 parameter_vectors=list(params), workers=1)
+    stored = store2.simulations
+    assert np.allclose(stored[0].parameters, params[0])
+    assert np.allclose(stored[1].parameters, params[1])
+
+
+def test_describe_contains_key_fields(case):
+    description = case.describe()
+    assert description["grid"] == "8x8"
+    assert description["field_size"] == 64
+    assert description["sampler"] == "halton"
+
+
+def test_paper_scale_spec():
+    spec = HeatSurrogateSpec.paper_scale()
+    assert spec.solver.nx == 1000 and spec.solver.ny == 1000
+    assert spec.solver.num_steps == 100
+    assert tuple(spec.architecture.hidden_sizes) == (256, 256)

@@ -1,0 +1,101 @@
+"""End-to-end integration tests of the online and offline studies."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import OfflineStudyConfig, OnlineStudyConfig
+from repro.core.study import OfflineStudy, OnlineStudy
+from repro.experiments.common import build_validation, online_config, run_offline_baseline, run_online_with_buffer
+
+
+@pytest.mark.parametrize("buffer_kind", ["fifo", "firo", "reservoir"])
+def test_online_study_end_to_end_single_rank(tiny_scale, tiny_case, buffer_kind):
+    result = run_online_with_buffer(buffer_kind, scale=tiny_scale, num_ranks=1, case=tiny_case)
+    expected_unique = tiny_scale.num_simulations * tiny_scale.num_steps
+    assert result.unique_samples == expected_unique
+    # Every unique sample was received by the server exactly once.
+    received = sum(stats.samples_received for stats in result.server.aggregator_stats)
+    assert received == expected_unique
+    assert result.launcher.clients_completed == tiny_scale.num_simulations
+    assert result.total_batches > 0
+    assert result.mean_throughput > 0
+    assert np.isfinite(result.metrics.losses.final_training_loss)
+    # FIFO/FIRO consume each sample at most once; Reservoir may repeat samples.
+    trained_samples = int(result.server.summary["total_samples"])
+    if buffer_kind in ("fifo", "firo"):
+        assert trained_samples <= expected_unique
+    else:
+        assert trained_samples >= expected_unique
+
+
+def test_online_study_with_validation_records_losses(tiny_scale, tiny_case):
+    validation = build_validation(tiny_case, tiny_scale)
+    result = run_online_with_buffer("reservoir", scale=tiny_scale, num_ranks=1,
+                                    case=tiny_case, validation=validation)
+    assert len(result.metrics.losses.val_losses) >= 1
+    assert np.isfinite(result.best_validation_loss)
+
+
+def test_online_study_multi_rank_distributes_data(tiny_scale, tiny_case):
+    result = run_online_with_buffer("reservoir", scale=tiny_scale, num_ranks=2, case=tiny_case)
+    expected_unique = tiny_scale.num_simulations * tiny_scale.num_steps
+    received = sum(stats.samples_received for stats in result.server.aggregator_stats)
+    assert received == expected_unique
+    per_rank = [stats.samples_received for stats in result.server.aggregator_stats]
+    # Round-robin distribution balances data between the two ranks.
+    assert abs(per_rank[0] - per_rank[1]) <= expected_unique * 0.2
+    assert len(result.server.per_rank_metrics) == 2
+    # Replicas stay synchronised: both ranks ran the same number of batches.
+    batches = [m.batches_trained for m in result.server.per_rank_metrics]
+    assert batches[0] == batches[1]
+
+
+def test_online_study_respects_max_batches(tiny_scale, tiny_case):
+    config = online_config(tiny_scale, "reservoir", num_ranks=1, use_series=False, max_batches=5)
+    study = OnlineStudy(tiny_case, config)
+    result = study.run()
+    assert result.metrics.batches_trained == 5
+
+
+def test_offline_study_end_to_end(tiny_scale, tiny_case, tmp_path):
+    result = run_offline_baseline(scale=tiny_scale, num_epochs=2, num_ranks=1, case=tiny_case,
+                                  store_dir=tmp_path / "offline-store")
+    expected_unique = tiny_scale.num_simulations * tiny_scale.num_steps
+    assert result.unique_samples == expected_unique
+    assert result.generation_elapsed > 0
+    assert (tmp_path / "offline-store" / "index.json").exists()
+    assert result.metrics.batches_trained > 0
+    losses = result.metrics.losses.train_losses
+    assert losses[-1] < losses[0] * 2  # training is at least not diverging
+
+
+def test_offline_study_reuses_existing_store(tiny_scale, tiny_case, tmp_path):
+    first = run_offline_baseline(scale=tiny_scale, num_epochs=1, case=tiny_case,
+                                 store_dir=tmp_path / "store")
+    # Re-run training on the already generated store: no regeneration cost.
+    from repro.offline.storage import SimulationStore
+
+    store = SimulationStore(tmp_path / "store")
+    config = OfflineStudyConfig(num_simulations=tiny_scale.num_simulations, num_epochs=1,
+                                batch_size=tiny_scale.batch_size, seed=tiny_scale.seed)
+    study = OfflineStudy(tiny_case, config, store=store)
+    second = study.run()
+    assert second.generation_elapsed == 0.0
+    assert second.unique_samples == first.unique_samples
+
+
+def test_online_and_offline_see_same_unique_sample_budget(tiny_scale):
+    """Both settings are built from the same ensemble size (paper's comparison basis)."""
+    from repro.experiments.common import build_case
+
+    online = run_online_with_buffer("firo", scale=tiny_scale, case=build_case(tiny_scale))
+    offline = run_offline_baseline(scale=tiny_scale, num_epochs=1, case=build_case(tiny_scale))
+    assert online.unique_samples == offline.unique_samples
+
+
+def test_online_study_table_row_fields(tiny_scale, tiny_case):
+    result = run_online_with_buffer("reservoir", scale=tiny_scale, case=tiny_case)
+    row = result.table_row("online")
+    assert row["setting"] == "online"
+    assert row["unique_samples"] == result.unique_samples
+    assert row["dataset_gb"] == pytest.approx(result.dataset_gigabytes)

@@ -1,0 +1,139 @@
+"""Tests of the experiment drivers at a very small scale.
+
+These are integration tests of the paper's experiments (Figures 2-6, Tables
+1-2, Appendix A), checking that each driver produces the expected structure
+and that the paper's qualitative findings hold at the scaled configuration.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    format_rows,
+    run_fig2_throughput,
+    run_fig3_occurrences,
+    run_fig4_quality,
+    run_residency_experiment,
+    run_table2,
+)
+from repro.experiments.common import default_scale
+from repro.experiments.fig5_multigpu import run_fig5_multigpu
+from repro.experiments.reporting import format_histogram, format_series
+from repro.experiments.table2 import extrapolate_table2
+
+
+@pytest.fixture(scope="module")
+def micro_scale():
+    """Tiny scale so the experiment drivers run in a few seconds each."""
+    return replace(
+        default_scale(),
+        nx=10,
+        ny=10,
+        num_steps=8,
+        num_simulations=8,
+        series_sizes=(4, 4),
+        hidden_sizes=(16, 16),
+        buffer_capacity=24,
+        buffer_threshold=6,
+        validation_simulations=2,
+        validation_interval=10,
+        client_step_delay=0.001,
+        inter_series_delay=0.05,
+        batch_compute_delay=0.001,
+        offline_io_delay_per_sample=0.0,
+        max_concurrent_clients=3,
+    )
+
+
+def test_fig2_reservoir_outperforms_fifo_throughput(micro_scale):
+    """Figure 2: the Reservoir sustains a higher throughput than FIFO/FIRO."""
+    result = run_fig2_throughput(micro_scale)
+    assert set(result.series) == {"fifo", "firo", "reservoir"}
+    assert result.mean_throughput("reservoir") > result.mean_throughput("fifo")
+    assert result.mean_throughput("reservoir") > result.mean_throughput("firo")
+    # Reservoir's population reaches (close to) its capacity, FIFO's stays low.
+    assert result.series["reservoir"].max_population >= micro_scale.buffer_capacity * 0.8
+    assert result.series["fifo"].max_population <= micro_scale.buffer_capacity
+    # Reservoir generates at least as many batches (sample repetition).
+    assert result.series["reservoir"].total_batches >= result.series["fifo"].total_batches
+    rows = result.summary_rows()
+    assert len(rows) == 3
+    assert isinstance(format_rows(rows, title="fig2"), str)
+
+
+def test_fig3_occurrence_histograms(micro_scale):
+    """Figure 3: samples are repeated a few times, more so with more ranks."""
+    result = run_fig3_occurrences(micro_scale, gpu_counts=(1, 2))
+    assert set(result.histograms) == {1, 2}
+    for gpus, histogram in result.histograms.items():
+        assert sum(histogram.values()) > 0
+        assert all(occurrences >= 1 for occurrences in histogram)
+    assert result.mean_occurrences[1] >= 1.0
+    assert isinstance(format_histogram(result.histograms[1], title="1 GPU"), str)
+
+
+def test_fig4_reservoir_generalizes_at_least_as_well_as_fifo(micro_scale):
+    """Figure 4: FIFO's streamed ordering hurts validation; Reservoir does not."""
+    result = run_fig4_quality(micro_scale, settings=("fifo", "reservoir", "offline"))
+    assert set(result.curves) == {"fifo", "reservoir", "offline"}
+    for curve in result.curves.values():
+        assert curve.train_losses.size > 0
+        assert np.isfinite(curve.best_val_loss)
+    # The paper's qualitative finding: Reservoir validation loss is lower than
+    # (or comparable to) FIFO's, which suffers from ordered streaming.
+    assert result.best_val("reservoir") <= result.best_val("fifo") * 1.5
+    rows = result.summary_rows()
+    assert {row["setting"] for row in rows} == {"fifo", "reservoir", "offline"}
+
+
+def test_fig5_reservoir_scales_with_gpus(micro_scale):
+    """Table 1 / Figure 5: only the Reservoir increases throughput with more GPUs."""
+    result = run_fig5_multigpu(micro_scale, gpu_counts=(1, 2), buffer_kinds=("fifo", "reservoir"))
+    assert ("reservoir", 2) in result.curves
+    reservoir_scaling = result.throughput_scaling("reservoir", (1, 2))
+    fifo_scaling = result.throughput_scaling("fifo", (1, 2))
+    assert reservoir_scaling > fifo_scaling * 0.9
+    assert result.throughput("reservoir", 2) > result.throughput("fifo", 2)
+    rows = result.summary_rows()
+    assert len(rows) == 4
+
+
+def test_table2_online_beats_offline_throughput(micro_scale):
+    """Table 2 shape: online Reservoir throughput and MSE beat the offline baseline."""
+    result = run_table2(
+        replace(micro_scale, offline_io_delay_per_sample=0.002),
+        offline_epochs=2,
+        online_simulation_factor=2,
+        num_ranks=1,
+        offline_io_delay_per_sample=0.002,
+    )
+    assert result.online.unique_samples > result.offline.unique_samples
+    assert result.online.throughput > result.offline.throughput
+    assert result.throughput_ratio > 1.0
+    rows = result.rows()
+    assert [row["setting"] for row in rows] == ["offline", "online-reservoir"]
+
+
+def test_residency_experiment_matches_appendix():
+    result = run_residency_experiment(capacities=(16, 64), insertions_per_capacity=300)
+    assert result.max_relative_error() < 0.15
+    rows = result.summary_rows()
+    assert len(rows) == 2
+
+
+def test_table2_extrapolation_storage_and_ratio():
+    extrapolation = extrapolate_table2()
+    assert extrapolation.online_dataset_gb == pytest.approx(8000.0, rel=0.01)
+    assert extrapolation.offline_dataset_gb == pytest.approx(100.0, rel=0.01)
+    assert extrapolation.throughput_ratio > 3.0
+
+
+def test_reporting_helpers():
+    rows = [{"a": 1, "b": 2.5}, {"a": 3, "b": float("nan")}]
+    table = format_rows(rows, title="demo")
+    assert "demo" in table and "a" in table
+    assert format_rows([]) == "(empty table)"
+    assert "no data" in format_series([], [], "empty")
+    assert "(0.00s, 1.0)" in format_series([0.0], [1.0], "one")

@@ -1,0 +1,117 @@
+"""Tests for the learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    ConstantLR,
+    CosineAnnealingLR,
+    ExponentialLR,
+    MultiStepLR,
+    ReduceLROnPlateau,
+    StepLR,
+)
+from repro.nn.module import Parameter
+
+
+@pytest.fixture
+def optimizer():
+    return Adam([Parameter(np.zeros(3))], lr=1e-3)
+
+
+def test_constant_lr(optimizer):
+    scheduler = ConstantLR(optimizer)
+    for _ in range(10):
+        scheduler.step()
+    assert optimizer.lr == pytest.approx(1e-3)
+
+
+def test_step_lr_halves_every_period(optimizer):
+    scheduler = StepLR(optimizer, step_size=100, gamma=0.5)
+    for _ in range(99):
+        scheduler.step()
+    assert optimizer.lr == pytest.approx(1e-3)
+    scheduler.step()
+    assert optimizer.lr == pytest.approx(5e-4)
+    for _ in range(100):
+        scheduler.step()
+    assert optimizer.lr == pytest.approx(2.5e-4)
+
+
+def test_step_lr_respects_floor(optimizer):
+    """The paper's schedule stops at 2.5e-4."""
+    scheduler = StepLR(optimizer, step_size=10, gamma=0.5, min_lr=2.5e-4)
+    for _ in range(1000):
+        scheduler.step()
+    assert optimizer.lr == pytest.approx(2.5e-4)
+
+
+def test_step_lr_validation(optimizer):
+    with pytest.raises(ValueError):
+        StepLR(optimizer, step_size=0)
+    with pytest.raises(ValueError):
+        StepLR(optimizer, step_size=10, gamma=1.5)
+
+
+def test_multistep_lr(optimizer):
+    scheduler = MultiStepLR(optimizer, milestones=[3, 6], gamma=0.1)
+    lrs = [scheduler.step() for _ in range(7)]
+    assert lrs[1] == pytest.approx(1e-3)
+    assert lrs[3] == pytest.approx(1e-4)
+    assert lrs[6] == pytest.approx(1e-5)
+
+
+def test_exponential_lr(optimizer):
+    scheduler = ExponentialLR(optimizer, gamma=0.9)
+    scheduler.step()
+    scheduler.step()
+    assert optimizer.lr == pytest.approx(1e-3 * 0.81)
+
+
+def test_cosine_annealing_reaches_min(optimizer):
+    scheduler = CosineAnnealingLR(optimizer, total_steps=50, min_lr=1e-5)
+    for _ in range(50):
+        scheduler.step()
+    assert optimizer.lr == pytest.approx(1e-5)
+    # Stays at the floor beyond total_steps.
+    scheduler.step()
+    assert optimizer.lr == pytest.approx(1e-5)
+
+
+def test_cosine_annealing_monotone_decrease(optimizer):
+    scheduler = CosineAnnealingLR(optimizer, total_steps=20)
+    values = [scheduler.step() for _ in range(20)]
+    assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+
+def test_reduce_on_plateau(optimizer):
+    scheduler = ReduceLROnPlateau(optimizer, factor=0.5, patience=2)
+    # Improvement keeps the lr.
+    for metric in (1.0, 0.9, 0.8):
+        scheduler.step(metric)
+    assert optimizer.lr == pytest.approx(1e-3)
+    # Stagnation beyond patience halves it.
+    for metric in (0.8, 0.8, 0.8, 0.8):
+        scheduler.step(metric)
+    assert optimizer.lr == pytest.approx(5e-4)
+
+
+def test_reduce_on_plateau_requires_metric(optimizer):
+    scheduler = ReduceLROnPlateau(optimizer)
+    with pytest.raises(ValueError):
+        scheduler.step()
+
+
+def test_scheduler_state_dict_roundtrip(optimizer):
+    scheduler = StepLR(optimizer, step_size=5, gamma=0.5, min_lr=1e-5)
+    for _ in range(12):
+        scheduler.step()
+    state = scheduler.state_dict()
+
+    fresh_optimizer = Adam([Parameter(np.zeros(3))], lr=1e-3)
+    fresh = StepLR(fresh_optimizer, step_size=99, gamma=0.9)
+    fresh.load_state_dict(state)
+    assert fresh.step_size == 5
+    assert fresh.last_step == 12
+    assert fresh_optimizer.lr == pytest.approx(optimizer.lr)

@@ -1,0 +1,177 @@
+"""Tests for the offline storage, dataset, dataloader and trainer."""
+
+import numpy as np
+import pytest
+
+from repro.offline.dataloader import DataLoader
+from repro.offline.dataset import SimulationDataset
+from repro.offline.storage import SimulationStore
+from repro.offline.trainer import OfflineTrainer, OfflineTrainingConfig
+from repro.nn import MLPConfig, build_mlp
+from repro.server.validation import ValidationSet
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = SimulationStore(tmp_path / "data")
+    rng = np.random.default_rng(0)
+    for sim_id in range(4):
+        fields = rng.random((6, 9)).astype(np.float32)
+        times = np.linspace(0.01, 0.06, 6)
+        params = rng.uniform(100, 500, size=5)
+        store.add_simulation(sim_id, params.tolist(), times.tolist(), fields)
+    return store
+
+
+def test_store_index_and_sizes(store, tmp_path):
+    assert len(store) == 4
+    assert store.total_samples == 24
+    assert store.total_bytes == 24 * 9 * 4
+    assert store.size_gigabytes() == pytest.approx(store.total_bytes / 1e9)
+    # Reopening the directory reloads the index.
+    reopened = SimulationStore(tmp_path / "data")
+    assert len(reopened) == 4
+    assert reopened.simulations[0].num_steps == 6
+
+
+def test_store_load_step_matches_full_load(store):
+    simulation = store.simulations[2]
+    full = store.load_fields(simulation, mmap=False)
+    single = store.load_step(simulation, 3)
+    assert np.allclose(single, full[3])
+
+
+def test_store_rejects_mismatched_times(tmp_path):
+    store = SimulationStore(tmp_path)
+    with pytest.raises(ValueError):
+        store.add_simulation(0, [1.0] * 5, [0.01, 0.02], np.zeros((3, 4)))
+
+
+def test_dataset_indexing(store):
+    dataset = SimulationDataset(store)
+    assert len(dataset) == 24
+    assert dataset.field_size == 9
+    assert dataset.input_size == 6
+    inputs, target = dataset[7]
+    assert inputs.shape == (6,)
+    assert target.shape == (9,)
+    sim_id, step = dataset.sample_identity(7)
+    assert 0 <= sim_id < 4 and 0 <= step < 6
+    # Input ends with the time value of that step.
+    simulation = [s for s in store if s.simulation_id == sim_id][0]
+    assert inputs[-1] == pytest.approx(simulation.times[step])
+
+
+def test_dataset_as_arrays(store):
+    dataset = SimulationDataset(store)
+    inputs, targets = dataset.as_arrays()
+    assert inputs.shape == (24, 6)
+    assert targets.shape == (24, 9)
+
+
+def test_empty_store_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        SimulationDataset(SimulationStore(tmp_path / "empty"))
+
+
+def test_dataloader_covers_dataset_once_per_epoch(store):
+    dataset = SimulationDataset(store)
+    loader = DataLoader(dataset, batch_size=5, shuffle=True, seed=0)
+    total = 0
+    for inputs, targets in loader:
+        assert inputs.shape[1] == 6 and targets.shape[1] == 9
+        total += inputs.shape[0]
+    assert total == len(dataset)
+    assert len(loader) == 5  # ceil(24 / 5)
+
+
+def test_dataloader_drop_last(store):
+    dataset = SimulationDataset(store)
+    loader = DataLoader(dataset, batch_size=5, drop_last=True)
+    batches = list(loader)
+    assert len(batches) == 4
+    assert all(b[0].shape[0] == 5 for b in batches)
+
+
+def test_dataloader_shuffles_differently_each_epoch(store):
+    dataset = SimulationDataset(store)
+    loader = DataLoader(dataset, batch_size=24, shuffle=True, seed=0)
+    first_epoch = next(iter(loader))[0]
+    second_epoch = next(iter(loader))[0]
+    assert not np.allclose(first_epoch, second_epoch)
+
+
+def test_dataloader_sharding_partitions_samples(store):
+    dataset = SimulationDataset(store)
+    seen = []
+    for rank in range(2):
+        loader = DataLoader(dataset, batch_size=4, shuffle=False, rank=rank, world_size=2)
+        for inputs, _ in loader:
+            seen.extend(inputs[:, -1].tolist())
+    assert len(seen) == 24  # equal shards, no overlap (times identify samples per sim)
+
+
+def test_dataloader_prefetch_workers_match_sync_loading(store):
+    dataset = SimulationDataset(store)
+    sync = DataLoader(dataset, batch_size=6, shuffle=True, seed=3, num_workers=0)
+    threaded = DataLoader(dataset, batch_size=6, shuffle=True, seed=3, num_workers=3)
+    for (a_in, a_t), (b_in, b_t) in zip(sync, threaded):
+        assert np.allclose(a_in, b_in)
+        assert np.allclose(a_t, b_t)
+
+
+def test_dataloader_validation(store):
+    dataset = SimulationDataset(store)
+    with pytest.raises(ValueError):
+        DataLoader(dataset, batch_size=0)
+    with pytest.raises(ValueError):
+        DataLoader(dataset, batch_size=1, rank=3, world_size=2)
+
+
+def _model_factory_for(dataset):
+    def factory():
+        return build_mlp(
+            MLPConfig(in_features=dataset.input_size, hidden_sizes=(16,),
+                      out_features=dataset.field_size, seed=0, dtype=np.float32)
+        )
+
+    return factory
+
+
+def test_offline_trainer_single_rank(store):
+    dataset = SimulationDataset(store)
+    inputs, targets = dataset.as_arrays()
+    validation = ValidationSet(inputs[:6], targets[:6])
+    config = OfflineTrainingConfig(num_epochs=3, batch_size=6, validation_interval=2,
+                                   lr_step_batches=50)
+    trainer = OfflineTrainer(dataset, config, _model_factory_for(dataset), validation=validation)
+    result = trainer.run()
+    assert result.epochs_completed == 3
+    assert result.metrics.batches_trained == 12  # 4 batches/epoch * 3 epochs
+    assert np.isfinite(result.best_validation_loss)
+    losses = result.metrics.losses.train_losses
+    assert losses[-1] < losses[0]
+
+
+def test_offline_trainer_multi_rank_matches_sample_budget(store):
+    dataset = SimulationDataset(store)
+    config = OfflineTrainingConfig(num_epochs=2, batch_size=4, num_ranks=2, lr_step_batches=50)
+    trainer = OfflineTrainer(dataset, config, _model_factory_for(dataset))
+    result = trainer.run()
+    total_samples = sum(m.samples_trained for m in result.per_rank_metrics)
+    assert total_samples == 2 * 24
+    assert len(result.per_rank_metrics) == 2
+
+
+def test_offline_trainer_max_batches(store):
+    dataset = SimulationDataset(store)
+    config = OfflineTrainingConfig(num_epochs=10, batch_size=4, max_batches=5, lr_step_batches=50)
+    result = OfflineTrainer(dataset, config, _model_factory_for(dataset)).run()
+    assert result.metrics.batches_trained == 5
+
+
+def test_offline_config_validation():
+    with pytest.raises(ValueError):
+        OfflineTrainingConfig(num_epochs=0)
+    with pytest.raises(ValueError):
+        OfflineTrainingConfig(num_ranks=0)

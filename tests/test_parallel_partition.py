@@ -1,0 +1,107 @@
+"""Tests for the block partition helpers."""
+
+import pytest
+
+from repro.parallel.partition import (
+    BlockPartition1D,
+    BlockPartition2D,
+    best_process_grid,
+    partition_extent,
+    split_grid_2d,
+)
+
+
+def test_partition_extent_covers_everything():
+    total, parts = 17, 5
+    covered = []
+    for index in range(parts):
+        start, stop = partition_extent(total, parts, index)
+        covered.extend(range(start, stop))
+    assert covered == list(range(total))
+
+
+def test_partition_extent_balanced():
+    sizes = [stop - start for start, stop in (partition_extent(10, 3, i) for i in range(3))]
+    assert sorted(sizes) == [3, 3, 4]
+
+
+def test_partition_extent_validation():
+    with pytest.raises(ValueError):
+        partition_extent(10, 0, 0)
+    with pytest.raises(ValueError):
+        partition_extent(10, 3, 3)
+
+
+def test_block_partition_1d_owner():
+    partition = BlockPartition1D(total=12, parts=4)
+    for item in range(12):
+        owner = partition.owner(item)
+        start, stop = partition.extent(owner)
+        assert start <= item < stop
+    with pytest.raises(ValueError):
+        partition.owner(12)
+    assert sum(partition.sizes()) == 12
+
+
+def test_best_process_grid_prefers_low_halo():
+    py, px = best_process_grid(4, ny=100, nx=100)
+    assert py * px == 4
+    assert (py, px) == (2, 2)
+
+
+def test_best_process_grid_elongated_domain():
+    py, px = best_process_grid(4, ny=8, nx=1000)
+    assert py * px == 4
+    # Splitting the long dimension minimises the exchanged boundary.
+    assert px >= py
+
+
+def test_best_process_grid_too_many_processes():
+    with pytest.raises(ValueError):
+        best_process_grid(64, ny=4, nx=4)
+
+
+def test_block_partition_2d_blocks_tile_domain():
+    partition = BlockPartition2D(ny=9, nx=7, py=3, px=2)
+    seen = set()
+    for rank in range(partition.nprocs):
+        rows, cols = partition.local_block(rank)
+        for r in range(rows.start, rows.stop):
+            for c in range(cols.start, cols.stop):
+                assert (r, c) not in seen
+                seen.add((r, c))
+    assert len(seen) == 9 * 7
+
+
+def test_block_partition_2d_coords_roundtrip():
+    partition = BlockPartition2D(ny=8, nx=8, py=2, px=3)
+    for rank in range(partition.nprocs):
+        row, col = partition.coords(rank)
+        assert partition.rank_of(row, col) == rank
+
+
+def test_block_partition_2d_neighbors():
+    partition = BlockPartition2D(ny=6, nx=6, py=2, px=2)
+    corner = partition.neighbors(0)
+    assert corner["north"] is None and corner["west"] is None
+    assert corner["south"] == 2 and corner["east"] == 1
+    center_like = partition.neighbors(3)
+    assert center_like["north"] == 1 and center_like["west"] == 2
+
+
+def test_block_partition_2d_validation():
+    with pytest.raises(ValueError):
+        BlockPartition2D(ny=4, nx=4, py=0, px=2)
+    with pytest.raises(ValueError):
+        BlockPartition2D(ny=2, nx=4, py=3, px=1)
+    partition = BlockPartition2D(ny=4, nx=4, py=2, px=2)
+    with pytest.raises(ValueError):
+        partition.coords(4)
+    with pytest.raises(ValueError):
+        partition.rank_of(2, 0)
+
+
+def test_split_grid_2d_automatic():
+    partition = split_grid_2d(ny=32, nx=64, nprocs=8)
+    assert partition.nprocs == 8
+    assert partition.ny == 32 and partition.nx == 64

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.buffers import FIFOBuffer, FIROBuffer, ReservoirBuffer
+from repro.buffers.base import SampleRecord
+from repro.nn import Linear, MSELoss, ReLU, Sequential, Tanh, gradient_check
+from repro.parallel.partition import BlockPartition2D, best_process_grid, partition_extent
+from repro.sampling import HaltonSampler, LatinHypercubeSampler, MonteCarloSampler, ParameterSpace
+from repro.solvers.heat2d import HeatEquationConfig, HeatEquationSolver, HeatParameters
+from repro.utils.seeding import derive_rng
+
+
+def record(index: int) -> SampleRecord:
+    return SampleRecord(
+        inputs=np.array([index], dtype=np.float32),
+        target=np.array([index], dtype=np.float32),
+        source_id=0,
+        time_step=index,
+    )
+
+
+# --------------------------------------------------------------------- buffers
+@settings(max_examples=30, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=40),
+    num_samples=st.integers(min_value=0, max_value=120),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_reservoir_population_never_exceeds_capacity(capacity, num_samples, seed):
+    buffer = ReservoirBuffer(capacity=capacity, threshold=0, seed=seed)
+    rng = derive_rng("property-reservoir", seed)
+    produced = 0
+    for index in range(num_samples):
+        if buffer.try_put(record(index)):
+            produced += 1
+        assert len(buffer) <= capacity
+        # Interleave reads at random so both seen and unseen lists get exercised.
+        if produced and rng.random() < 0.5:
+            assert buffer.get(timeout=1.0) is not None
+            assert len(buffer) <= capacity
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    capacity=st.integers(min_value=2, max_value=30),
+    num_samples=st.integers(min_value=1, max_value=60),
+    reads_per_put=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_reservoir_drains_every_remaining_sample(capacity, num_samples, reads_per_put, seed):
+    """After reception ends, draining returns exactly the stored population."""
+    buffer = ReservoirBuffer(capacity=capacity, threshold=0, seed=seed)
+    for index in range(num_samples):
+        buffer.try_put(record(index))
+        for _ in range(reads_per_put):
+            buffer.get(timeout=1.0)
+    population = len(buffer)
+    buffer.signal_reception_over()
+    drained = 0
+    while buffer.get(timeout=0.5) is not None:
+        drained += 1
+    assert drained == population
+    assert len(buffer) == 0
+    assert buffer.exhausted
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=50),
+    num_samples=st.integers(min_value=0, max_value=80),
+    kind=st.sampled_from(["fifo", "firo"]),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_single_read_buffers_conserve_samples(capacity, num_samples, kind, seed):
+    """FIFO/FIRO: what comes out is exactly what went in (no loss, no duplication)."""
+    if kind == "fifo":
+        buffer = FIFOBuffer(capacity=capacity)
+    else:
+        buffer = FIROBuffer(capacity=capacity, threshold=0, seed=seed)
+    accepted = []
+    for index in range(num_samples):
+        if buffer.try_put(record(index)):
+            accepted.append(index)
+    buffer.signal_reception_over()
+    out = []
+    while True:
+        item = buffer.get(timeout=0.5)
+        if item is None:
+            break
+        out.append(item.time_step)
+    assert sorted(out) == accepted
+
+
+# ----------------------------------------------------------------- partitioning
+@settings(max_examples=50, deadline=None)
+@given(total=st.integers(min_value=1, max_value=500), parts=st.integers(min_value=1, max_value=32))
+def test_partition_extent_is_a_partition(total, parts):
+    parts = min(parts, total)
+    extents = [partition_extent(total, parts, i) for i in range(parts)]
+    covered = [i for start, stop in extents for i in range(start, stop)]
+    assert covered == list(range(total))
+    sizes = [stop - start for start, stop in extents]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ny=st.integers(min_value=4, max_value=64),
+    nx=st.integers(min_value=4, max_value=64),
+    nprocs=st.integers(min_value=1, max_value=16),
+)
+def test_2d_partition_tiles_grid(ny, nx, nprocs):
+    try:
+        py, px = best_process_grid(nprocs, ny, nx)
+    except ValueError:
+        return  # too many processes for this grid: nothing to check
+    partition = BlockPartition2D(ny=ny, nx=nx, py=py, px=px)
+    count = 0
+    for rank in range(partition.nprocs):
+        rows, cols = partition.local_block(rank)
+        count += (rows.stop - rows.start) * (cols.stop - cols.start)
+    assert count == ny * nx
+
+
+# --------------------------------------------------------------------- sampling
+@settings(max_examples=20, deadline=None)
+@given(
+    low=st.floats(min_value=-100.0, max_value=100.0),
+    width=st.floats(min_value=1e-3, max_value=1000.0),
+    dimension=st.integers(min_value=1, max_value=8),
+    count=st.integers(min_value=1, max_value=64),
+    kind=st.sampled_from(["mc", "lhs", "halton"]),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_samplers_stay_inside_box(low, width, dimension, count, kind, seed):
+    space = ParameterSpace.uniform_box(low, low + width, dimension)
+    sampler = {
+        "mc": MonteCarloSampler,
+        "lhs": LatinHypercubeSampler,
+        "halton": HaltonSampler,
+    }[kind](space, seed=seed)
+    samples = sampler.sample(count)
+    assert samples.shape == (count, dimension)
+    assert space.contains(samples).all()
+
+
+# ----------------------------------------------------------------------- solver
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    temps=st.lists(st.floats(min_value=100.0, max_value=500.0), min_size=5, max_size=5),
+    n=st.integers(min_value=6, max_value=14),
+)
+def test_heat_solution_respects_maximum_principle(temps, n):
+    """For any parameters in the paper's range the solution stays within bounds."""
+    config = HeatEquationConfig(nx=n, ny=n, num_steps=5)
+    params = HeatParameters(*temps)
+    series = HeatEquationSolver(config).run(params)
+    stacked = series.stack()
+    assert stacked.min() >= min(temps) - 1e-6
+    assert stacked.max() <= max(temps) + 1e-6
+    assert np.all(np.isfinite(stacked))
+
+
+# --------------------------------------------------------------------------- nn
+@settings(max_examples=10, deadline=None)
+@given(
+    in_features=st.integers(min_value=1, max_value=6),
+    hidden=st.integers(min_value=1, max_value=8),
+    out_features=st.integers(min_value=1, max_value=5),
+    batch=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=100),
+    activation=st.sampled_from(["tanh", "relu"]),
+)
+def test_random_mlp_gradients_are_correct(in_features, hidden, out_features, batch, seed, activation):
+    rng = np.random.default_rng(seed)
+    act = Tanh() if activation == "tanh" else ReLU()
+    model = Sequential(
+        Linear(in_features, hidden, rng=rng),
+        act,
+        Linear(hidden, out_features, rng=rng),
+    )
+    x = rng.standard_normal((batch, in_features)) + (0.5 if activation == "relu" else 0.0)
+    y = rng.standard_normal((batch, out_features))
+    gradient_check(model, MSELoss(), x, y, atol=1e-4, rtol=1e-3)

@@ -1,0 +1,140 @@
+"""Tests for data-parallel gradient synchronisation and validation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Linear, MLPConfig, MSELoss, Sequential, build_mlp
+from repro.parallel.spmd import run_spmd
+from repro.server.ddp import broadcast_parameters, parameters_in_sync, sync_gradients
+from repro.server.validation import ValidationSet, Validator
+
+
+def make_model(seed):
+    return build_mlp(MLPConfig(in_features=4, hidden_sizes=(8,), out_features=2, seed=seed))
+
+
+def test_broadcast_parameters_makes_replicas_identical():
+    def main(comm):
+        model = make_model(seed=comm.rank)  # deliberately different weights
+        broadcast_parameters(model, comm, root=0)
+        return model.state_dict()
+
+    states = run_spmd(3, main)
+    for state in states[1:]:
+        for key in states[0]:
+            assert np.allclose(states[0][key], state[key])
+
+
+def test_sync_gradients_averages_across_ranks():
+    rng = np.random.default_rng(0)
+    data = [rng.random((6, 4)) for _ in range(2)]
+    targets = [rng.random((6, 2)) for _ in range(2)]
+
+    def main(comm):
+        model = make_model(seed=0)
+        loss = MSELoss()
+        model.zero_grad()
+        out = model.forward(data[comm.rank])
+        loss.forward(out, targets[comm.rank])
+        model.backward(loss.backward())
+        sync_gradients(model, comm, average=True)
+        return model.flat_gradients()
+
+    grads = run_spmd(2, main)
+    assert np.allclose(grads[0], grads[1])
+
+    # Reference: average of the two single-rank gradients.
+    reference = []
+    for rank in range(2):
+        model = make_model(seed=0)
+        loss = MSELoss()
+        model.zero_grad()
+        loss.forward(model.forward(data[rank]), targets[rank])
+        model.backward(loss.backward())
+        reference.append(model.flat_gradients())
+    assert np.allclose(grads[0], np.mean(reference, axis=0), atol=1e-10)
+
+
+def test_ddp_training_equals_large_batch_training():
+    """2-rank DDP with per-rank batch B equals single training on batch 2B."""
+    rng = np.random.default_rng(1)
+    inputs = rng.random((8, 4)).astype(np.float64)
+    targets = rng.random((8, 2)).astype(np.float64)
+
+    def ddp_main(comm):
+        model = make_model(seed=0)
+        optimizer = Adam(model.parameters(), lr=1e-3)
+        loss = MSELoss()
+        shard = slice(comm.rank * 4, (comm.rank + 1) * 4)
+        for _ in range(5):
+            model.zero_grad()
+            loss.forward(model.forward(inputs[shard]), targets[shard])
+            model.backward(loss.backward())
+            sync_gradients(model, comm, average=True)
+            optimizer.step()
+        return model.state_dict()
+
+    ddp_states = run_spmd(2, ddp_main)
+
+    reference = make_model(seed=0)
+    optimizer = Adam(reference.parameters(), lr=1e-3)
+    loss = MSELoss()
+    for _ in range(5):
+        reference.zero_grad()
+        loss.forward(reference.forward(inputs), targets)
+        reference.backward(loss.backward())
+        optimizer.step()
+
+    for key, value in reference.state_dict().items():
+        assert np.allclose(ddp_states[0][key], value, atol=1e-8)
+        assert np.allclose(ddp_states[1][key], value, atol=1e-8)
+
+
+def test_parameters_in_sync_detects_divergence():
+    def main(comm):
+        model = make_model(seed=0)
+        in_sync_before = parameters_in_sync(model, comm)
+        if comm.rank == 1:
+            model.parameters()[0].data += 1.0
+        return in_sync_before, parameters_in_sync(model, comm)
+
+    results = run_spmd(2, main)
+    assert all(before for before, _ in results)
+    assert not any(after for _, after in results)
+
+
+def test_validation_set_construction_and_validator():
+    params = [np.array([1.0, 2.0, 3.0, 4.0, 5.0]), np.array([5.0, 4.0, 3.0, 2.0, 1.0])]
+    times = [np.array([0.1, 0.2]), np.array([0.1, 0.2])]
+    fields = [np.ones((2, 9)), np.zeros((2, 9))]
+    dataset = ValidationSet.from_simulations(params, times, fields)
+    assert dataset.num_samples == 4
+    assert dataset.inputs.shape == (4, 6)
+    assert dataset.targets.shape == (4, 9)
+
+    class ZeroModel(Sequential):
+        def forward(self, inputs):
+            return np.zeros((inputs.shape[0], 9), dtype=np.float32)
+
+    validator = Validator(dataset, batch_size=3)
+    loss = validator.evaluate(ZeroModel())
+    # Half the targets are ones, half zeros -> MSE = 0.5.
+    assert loss == pytest.approx(0.5)
+
+
+def test_validation_set_validation_errors():
+    with pytest.raises(ValueError):
+        ValidationSet(inputs=np.zeros((2, 3)), targets=np.zeros((3, 4)))
+    with pytest.raises(ValueError):
+        ValidationSet(inputs=np.zeros((0, 3)), targets=np.zeros((0, 4)))
+    with pytest.raises(ValueError):
+        Validator(ValidationSet(np.zeros((2, 3)), np.zeros((2, 4))), batch_size=0)
+
+
+def test_validator_restores_training_mode():
+    dataset = ValidationSet(np.zeros((4, 4), dtype=np.float32), np.zeros((4, 2), dtype=np.float32))
+    rng = np.random.default_rng(0)
+    model = Sequential(Linear(4, 2, rng=rng))
+    model.train()
+    Validator(dataset).evaluate(model)
+    assert model.training

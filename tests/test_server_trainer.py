@@ -1,0 +1,128 @@
+"""Tests for the training worker (single rank, buffer-driven loop)."""
+
+import numpy as np
+import pytest
+
+from repro.buffers import FIFOBuffer, ReservoirBuffer
+from repro.buffers.base import SampleRecord
+from repro.nn import Adam, MLPConfig, StepLR, build_mlp
+from repro.server.trainer import TrainerConfig, TrainingWorker
+from repro.server.validation import ValidationSet, Validator
+
+
+def make_records(count, input_size=3, target_size=5, seed=0):
+    rng = np.random.default_rng(seed)
+    records = []
+    for index in range(count):
+        inputs = rng.random(input_size).astype(np.float32)
+        target = (inputs.sum() * np.ones(target_size)).astype(np.float32)
+        records.append(SampleRecord(inputs=inputs, target=target, source_id=0, time_step=index))
+    return records
+
+
+def make_worker(buffer, max_batches=None, validator=None, batch_size=4,
+                validation_interval=5, scheduler_steps=None):
+    model = build_mlp(MLPConfig(in_features=3, hidden_sizes=(8,), out_features=5, seed=0))
+    optimizer = Adam(model.parameters(), lr=1e-3)
+    scheduler = None
+    if scheduler_steps is not None:
+        scheduler = StepLR(optimizer, step_size=scheduler_steps, gamma=0.5)
+    config = TrainerConfig(
+        batch_size=batch_size,
+        validation_interval=validation_interval,
+        max_batches=max_batches,
+        get_timeout=5.0,
+    )
+    return TrainingWorker(
+        rank=0,
+        model=model,
+        optimizer=optimizer,
+        buffer=buffer,
+        config=config,
+        scheduler=scheduler,
+        validator=validator,
+    )
+
+
+def test_worker_trains_until_buffer_exhausted():
+    buffer = FIFOBuffer(capacity=200)
+    for record in make_records(40):
+        buffer.put(record)
+    buffer.signal_reception_over()
+    worker = make_worker(buffer, batch_size=8)
+    metrics = worker.run()
+    assert metrics.batches_trained == 5
+    assert metrics.samples_trained == 40
+    assert len(metrics.losses.train_losses) == 5
+    assert metrics.wall_time > 0
+
+
+def test_worker_respects_max_batches():
+    buffer = ReservoirBuffer(capacity=50, threshold=0)
+    for record in make_records(20):
+        buffer.put(record)
+    worker = make_worker(buffer, max_batches=7)
+    metrics = worker.run()
+    assert metrics.batches_trained == 7
+
+
+def test_worker_loss_decreases_on_learnable_problem():
+    buffer = ReservoirBuffer(capacity=200, threshold=0, seed=0)
+    for record in make_records(100, seed=1):
+        buffer.put(record)
+    worker = make_worker(buffer, max_batches=150, batch_size=10)
+    metrics = worker.run()
+    early = np.mean(metrics.losses.train_losses[:10])
+    late = np.mean(metrics.losses.train_losses[-10:])
+    assert late < early
+
+
+def test_worker_runs_validation_and_records_best():
+    records = make_records(60, seed=2)
+    buffer = FIFOBuffer(capacity=200)
+    for record in records:
+        buffer.put(record)
+    buffer.signal_reception_over()
+    inputs = np.stack([r.inputs for r in records[:10]])
+    targets = np.stack([r.target for r in records[:10]])
+    validator = Validator(ValidationSet(inputs, targets))
+    worker = make_worker(buffer, validator=validator, batch_size=6, validation_interval=3)
+    metrics = worker.run()
+    assert len(metrics.losses.val_losses) >= 2
+    assert np.isfinite(metrics.losses.best_validation_loss)
+    assert metrics.losses.best_validation_loss <= metrics.losses.val_losses[0] + 1e-12
+
+
+def test_worker_tracks_occurrences_and_population():
+    buffer = ReservoirBuffer(capacity=30, threshold=0, seed=0)
+    for record in make_records(10):
+        buffer.put(record)
+    worker = make_worker(buffer, max_batches=20, batch_size=5)
+    metrics = worker.run()
+    histogram = metrics.occurrence_histogram
+    assert sum(histogram.values()) == 10  # every stored sample selected at least once
+    assert sum(k * v for k, v in histogram.items()) == 20 * 5
+    assert len(metrics.buffer_population.sizes) == 20
+
+
+def test_worker_scheduler_decays_learning_rate():
+    buffer = FIFOBuffer(capacity=200)
+    for record in make_records(80):
+        buffer.put(record)
+    buffer.signal_reception_over()
+    worker = make_worker(buffer, batch_size=4, scheduler_steps=10)
+    initial_lr = worker.optimizer.lr
+    worker.run()
+    assert worker.optimizer.lr < initial_lr
+
+
+def test_worker_throughput_meter_records_windows():
+    buffer = FIFOBuffer(capacity=300)
+    for record in make_records(120):
+        buffer.put(record)
+    buffer.signal_reception_over()
+    worker = make_worker(buffer, batch_size=4)
+    metrics = worker.run()
+    # 30 batches with a window of 10 -> 3 throughput measurements.
+    assert len(metrics.throughput.values) == 3
+    assert metrics.throughput.mean_throughput() > 0

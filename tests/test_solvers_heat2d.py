@@ -1,0 +1,150 @@
+"""Tests for the sequential heat-equation solver."""
+
+import numpy as np
+import pytest
+
+from repro.solvers.analytic import constant_solution, separable_mode_decay, steady_state
+from repro.solvers.heat2d import (
+    ExplicitHeatSolver,
+    HeatEquationConfig,
+    HeatEquationSolver,
+    HeatParameters,
+    explicit_step_stable_dt,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        HeatEquationConfig(nx=2, ny=10)
+    with pytest.raises(ValueError):
+        HeatEquationConfig(dt=0.0)
+    with pytest.raises(ValueError):
+        HeatEquationConfig(alpha=-1.0)
+
+
+def test_config_derived_quantities():
+    config = HeatEquationConfig(nx=11, ny=21, length_x=1.0, length_y=2.0, num_steps=7)
+    assert config.dx == pytest.approx(0.1)
+    assert config.dy == pytest.approx(0.1)
+    assert config.grid_shape == (21, 11)
+    assert config.num_points == 231
+    assert config.num_interior == 19 * 9
+    assert len(config.times()) == 7
+
+
+def test_parameters_roundtrip_and_validation():
+    params = HeatParameters(200.0, 300.0, 400.0, 150.0, 250.0)
+    assert HeatParameters.from_array(params.as_array()) == params
+    assert params.as_tuple() == (200.0, 300.0, 400.0, 150.0, 250.0)
+    with pytest.raises(ValueError):
+        HeatParameters.from_array(np.zeros(4))
+    with pytest.raises(ValueError):
+        HeatParameters(50.0, 300.0, 300.0, 300.0, 300.0).validate_range()
+
+
+def test_constant_temperature_is_fixed_point(small_solver_config):
+    """IC equal to all boundary temperatures must stay constant (round-off only)."""
+    solver = HeatEquationSolver(small_solver_config)
+    params = HeatParameters(321.0, 321.0, 321.0, 321.0, 321.0)
+    series = solver.run(params)
+    expected = constant_solution(small_solver_config, 321.0)
+    for _, field in series:
+        assert np.allclose(field, expected, atol=1e-9)
+
+
+def test_solution_bounded_by_extremes(small_solver_config, heat_params):
+    """Maximum principle: the temperature stays within [min, max] of IC and BCs."""
+    solver = HeatEquationSolver(small_solver_config)
+    series = solver.run(heat_params)
+    low = min(heat_params.as_tuple())
+    high = max(heat_params.as_tuple())
+    stacked = series.stack()
+    assert stacked.min() >= low - 1e-8
+    assert stacked.max() <= high + 1e-8
+
+
+def test_long_time_convergence_to_steady_state(heat_params):
+    config = HeatEquationConfig(nx=12, ny=12, dt=0.05, num_steps=400)
+    solver = HeatEquationSolver(config)
+    final = solver.run(heat_params).final()
+    stationary = steady_state(config, heat_params)
+    assert np.allclose(final, stationary, atol=1e-3)
+
+
+def test_series_metadata(small_solver_config, heat_params):
+    solver = HeatEquationSolver(small_solver_config)
+    series = solver.run(heat_params)
+    assert len(series) == small_solver_config.num_steps
+    times = series.times
+    assert times[0] == pytest.approx(small_solver_config.dt)
+    assert times[-1] == pytest.approx(small_solver_config.dt * small_solver_config.num_steps)
+    assert series.stack().shape == (small_solver_config.num_steps, *small_solver_config.grid_shape)
+
+
+def test_iter_steps_streams_in_order(small_solver_config, heat_params):
+    solver = HeatEquationSolver(small_solver_config)
+    steps = [step for step, _, _ in solver.iter_steps(heat_params)]
+    assert steps == list(range(1, small_solver_config.num_steps + 1))
+
+
+def test_cg_solver_matches_lu(heat_params):
+    lu_config = HeatEquationConfig(nx=10, ny=10, num_steps=5, linear_solver="lu")
+    cg_config = HeatEquationConfig(nx=10, ny=10, num_steps=5, linear_solver="cg")
+    lu_final = HeatEquationSolver(lu_config).run(heat_params).final()
+    cg_final = HeatEquationSolver(cg_config).run(heat_params).final()
+    assert np.allclose(lu_final, cg_final, atol=1e-6)
+
+
+def test_explicit_solver_requires_stable_dt(heat_params):
+    config = HeatEquationConfig(nx=20, ny=20, dt=0.01, num_steps=3)
+    assert explicit_step_stable_dt(config) < 0.01
+    with pytest.raises(ValueError):
+        ExplicitHeatSolver(config)
+
+
+def test_explicit_and_implicit_agree_for_small_dt(heat_params):
+    stable_config = HeatEquationConfig(nx=14, ny=14, dt=5e-4, num_steps=40)
+    assert stable_config.dt <= explicit_step_stable_dt(stable_config)
+    implicit = HeatEquationSolver(stable_config).run(heat_params).final()
+    explicit = ExplicitHeatSolver(stable_config).run(heat_params).final()
+    # Both are first-order in time; they agree to O(dt) on the interior (the
+    # two solvers use different cosmetic conventions for the corner nodes).
+    assert np.allclose(implicit[1:-1, 1:-1], explicit[1:-1, 1:-1], rtol=0.0, atol=2.0)
+
+
+def test_implicit_euler_decay_rate_first_order():
+    """A single Laplacian eigenmode decays at the implicit-Euler rate 1/(1+dt*lambda)."""
+    config = HeatEquationConfig(nx=33, ny=33, dt=1e-3, num_steps=10, alpha=1.0)
+    initial, rate = separable_mode_decay(config, amplitude=1.0)
+    solver = HeatEquationSolver(config)
+    params = HeatParameters(0.0, 0.0, 0.0, 0.0, 0.0)
+
+    # Manually run the implicit stepping on the eigenmode initial condition.
+    interior = initial[1:-1, 1:-1].ravel().copy()
+    boundary = np.zeros_like(interior)
+    for _ in range(config.num_steps):
+        interior = solver._lu.solve(interior + config.dt * config.alpha * boundary)
+
+    # Discrete eigenvalue of the 5-point Laplacian for mode (1, 1).
+    kx = np.pi / config.length_x
+    ky = np.pi / config.length_y
+    lam = (4.0 / config.dx**2) * np.sin(kx * config.dx / 2.0) ** 2 + (
+        4.0 / config.dy**2
+    ) * np.sin(ky * config.dy / 2.0) ** 2
+    expected_factor = (1.0 / (1.0 + config.dt * lam)) ** config.num_steps
+    measured_factor = np.abs(interior).max() / np.abs(initial[1:-1, 1:-1]).max()
+    assert measured_factor == pytest.approx(expected_factor, rel=1e-6)
+    assert expected_factor == pytest.approx(np.exp(-rate * config.dt * config.num_steps), rel=0.05)
+
+
+def test_steady_state_harmonic_mean_value():
+    """The steady state with equal boundaries is that constant everywhere."""
+    config = HeatEquationConfig(nx=10, ny=10, num_steps=2)
+    params = HeatParameters(100.0, 250.0, 250.0, 250.0, 250.0)
+    stationary = HeatEquationSolver(config).steady_state(params)
+    assert np.allclose(stationary, 250.0, atol=1e-8)
+
+
+def test_field_size_property():
+    config = HeatEquationConfig(nx=16, ny=12, num_steps=2)
+    assert HeatEquationSolver(config).field_size == 16 * 12

@@ -1,0 +1,102 @@
+"""Tests for the distributed CG solver and the domain-decomposed heat solver."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.spmd import run_spmd
+from repro.solvers.cg import distributed_cg, jacobi_smoother
+from repro.solvers.heat2d import HeatEquationConfig, HeatEquationSolver, HeatParameters
+from repro.solvers.heat2d_parallel import ParallelHeatSolver
+
+
+def test_serial_cg_solves_spd_system(rng):
+    n = 30
+    raw = rng.random((n, n))
+    matrix = raw @ raw.T + n * np.eye(n)
+    rhs = rng.random(n)
+    result = distributed_cg(lambda x: matrix @ x, rhs, tol=1e-12, max_iter=500)
+    assert result.converged
+    assert np.allclose(matrix @ result.solution, rhs, atol=1e-8)
+
+
+def test_serial_cg_zero_rhs_short_circuits():
+    result = distributed_cg(lambda x: x, np.zeros(5))
+    assert result.converged and result.iterations == 0
+    assert np.allclose(result.solution, 0.0)
+
+
+def test_cg_reports_non_convergence(rng):
+    n = 20
+    raw = rng.random((n, n))
+    matrix = raw @ raw.T + 0.1 * np.eye(n)
+    result = distributed_cg(lambda x: matrix @ x, rng.random(n), tol=1e-14, max_iter=2)
+    assert not result.converged
+    assert result.iterations == 2
+
+
+def test_jacobi_smoother_converges_on_diagonally_dominant(rng):
+    n = 25
+    matrix = np.diag(np.full(n, 5.0)) + rng.random((n, n)) * 0.1
+    matrix = 0.5 * (matrix + matrix.T)
+    rhs = rng.random(n)
+    result = jacobi_smoother(lambda x: matrix @ x, np.diag(matrix), rhs, tol=1e-10, max_iter=5000)
+    assert result.converged
+    assert np.allclose(matrix @ result.solution, rhs, atol=1e-6)
+
+
+def test_distributed_cg_matches_serial(rng):
+    """Row-partitioned CG across 3 ranks equals the serial solution."""
+    n = 24
+    raw = rng.random((n, n))
+    matrix = raw @ raw.T + n * np.eye(n)
+    rhs = rng.random(n)
+    serial = np.linalg.solve(matrix, rhs)
+
+    def main(comm):
+        rows = comm.split_workload(n)
+        local_rows = matrix[rows.start : rows.stop, :]
+
+        def matvec(local_x):
+            full_x = np.concatenate(comm.allgather(local_x))
+            return local_rows @ full_x
+
+        result = distributed_cg(matvec, rhs[rows.start : rows.stop], comm=comm, tol=1e-12,
+                                max_iter=500)
+        assert result.converged
+        return result.solution
+
+    pieces = run_spmd(3, main)
+    assert np.allclose(np.concatenate(pieces), serial, atol=1e-7)
+
+
+@pytest.mark.parametrize("num_ranks", [1, 2, 3])
+def test_parallel_heat_solver_matches_sequential(num_ranks, heat_params):
+    config = HeatEquationConfig(nx=10, ny=12, num_steps=4)
+    sequential = HeatEquationSolver(config).run(heat_params)
+    parallel = ParallelHeatSolver(config, num_ranks=num_ranks).run(heat_params)
+    assert len(parallel) == len(sequential)
+    for (t_seq, f_seq), (t_par, f_par) in zip(sequential, parallel):
+        assert t_seq == pytest.approx(t_par)
+        assert np.allclose(f_seq, f_par, atol=1e-6)
+
+
+def test_parallel_solver_constant_solution():
+    config = HeatEquationConfig(nx=10, ny=10, num_steps=3)
+    params = HeatParameters(300.0, 300.0, 300.0, 300.0, 300.0)
+    series = ParallelHeatSolver(config, num_ranks=2).run(params)
+    assert np.allclose(series.final(), 300.0, atol=1e-6)
+
+
+def test_parallel_solver_on_step_callback(heat_params):
+    config = HeatEquationConfig(nx=10, ny=10, num_steps=3)
+    seen = []
+    ParallelHeatSolver(config, num_ranks=2).run(heat_params, on_step=lambda s, t, f: seen.append(s))
+    assert seen == [1, 2, 3]
+
+
+def test_parallel_solver_validation():
+    config = HeatEquationConfig(nx=10, ny=10, num_steps=2)
+    with pytest.raises(ValueError):
+        ParallelHeatSolver(config, num_ranks=0)
+    with pytest.raises(ValueError):
+        ParallelHeatSolver(config, num_ranks=100)

@@ -1,0 +1,76 @@
+"""Tests for the logging helpers and the weight initialisers."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.nn.init import (
+    get_initializer,
+    he_normal,
+    he_uniform,
+    lecun_normal,
+    xavier_normal,
+    xavier_uniform,
+    zeros_init,
+)
+from repro.utils.logging import get_logger, set_verbosity
+
+
+def test_get_logger_namespaced_and_handler_installed():
+    logger = get_logger("unit-test")
+    assert logger.name == "repro.unit-test"
+    root = logging.getLogger("repro")
+    assert root.handlers  # installed once
+    # A second call must not add another handler.
+    get_logger("unit-test-2")
+    assert len(root.handlers) == 1
+
+
+def test_set_verbosity_changes_root_level():
+    set_verbosity(logging.DEBUG)
+    assert logging.getLogger("repro").level == logging.DEBUG
+    set_verbosity(logging.WARNING)
+    assert logging.getLogger("repro").level == logging.WARNING
+
+
+@pytest.mark.parametrize(
+    "initializer,expected_std",
+    [
+        (he_normal, lambda fan_in, fan_out: np.sqrt(2.0 / fan_in)),
+        (xavier_normal, lambda fan_in, fan_out: np.sqrt(2.0 / (fan_in + fan_out))),
+        (lecun_normal, lambda fan_in, fan_out: np.sqrt(1.0 / fan_in)),
+    ],
+)
+def test_normal_initializers_have_expected_scale(initializer, expected_std):
+    rng = np.random.default_rng(0)
+    fan_in, fan_out = 400, 300
+    weights = initializer((fan_in, fan_out), rng)
+    assert weights.shape == (fan_in, fan_out)
+    assert weights.std() == pytest.approx(expected_std(fan_in, fan_out), rel=0.05)
+    assert abs(weights.mean()) < 0.01
+
+
+@pytest.mark.parametrize(
+    "initializer,bound",
+    [
+        (he_uniform, lambda fan_in, fan_out: np.sqrt(6.0 / fan_in)),
+        (xavier_uniform, lambda fan_in, fan_out: np.sqrt(6.0 / (fan_in + fan_out))),
+    ],
+)
+def test_uniform_initializers_bounded(initializer, bound):
+    rng = np.random.default_rng(1)
+    fan_in, fan_out = 256, 128
+    weights = initializer((fan_in, fan_out), rng)
+    limit = bound(fan_in, fan_out)
+    assert weights.min() >= -limit and weights.max() <= limit
+    # Uniform distribution: std = limit / sqrt(3).
+    assert weights.std() == pytest.approx(limit / np.sqrt(3.0), rel=0.05)
+
+
+def test_zeros_init_and_registry():
+    rng = np.random.default_rng(0)
+    assert np.all(zeros_init((3, 4), rng) == 0.0)
+    assert get_initializer("he_normal") is he_normal
+    with pytest.raises(KeyError):
+        get_initializer("orthogonal")
