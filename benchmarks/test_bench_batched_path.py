@@ -1,0 +1,115 @@
+"""Benchmark: vectorized batched buffer extraction vs the per-sample path.
+
+The training buffer's ``get``/``put`` path is the system's hot path: it is
+what lets online training keep the GPU saturated while clients stream data in
+(paper Section 3.2).  ``get_batch`` draws the whole batch under a single lock
+acquisition with one vectorized RNG call per chunk, while the reference
+``get_batch_per_sample`` path acquires the lock and calls the scalar RNG once
+per sample.  This benchmark asserts the batched path is at least 3x faster at
+the paper's batch size of 10 on the two randomized policies (FIRO and
+Reservoir), and that bulk insertion via ``put_many`` beats per-sample ``put``.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.buffers import FIFOBuffer, FIROBuffer, ReservoirBuffer
+from repro.buffers.base import SampleRecord
+
+BATCH_SIZE = 10
+NUM_BATCHES = 200
+CAPACITY = 4_000
+REPEATS = 7
+# Required batched-vs-per-sample speedup on FIRO/Reservoir.  The default (3x,
+# measured ~4x locally) is the acceptance bar; CI on shared runners sets
+# REPRO_BENCH_MIN_SPEEDUP lower because wall-clock ratios are noisy there.
+MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+# The FIFO (no RNG) and put_many floors scale with the same noise margin.
+NOISE_SCALE = MIN_SPEEDUP / 3.0
+
+RECORDS = [
+    SampleRecord(
+        inputs=np.zeros(6, dtype=np.float32),
+        target=np.zeros(16, dtype=np.float32),
+        source_id=0,
+        time_step=index,
+    )
+    for index in range(CAPACITY)
+]
+
+
+def make_buffer(kind):
+    cls = {"fifo": FIFOBuffer, "firo": FIROBuffer, "reservoir": ReservoirBuffer}[kind]
+    if kind == "fifo":
+        buffer = cls(capacity=CAPACITY)
+    else:
+        buffer = cls(capacity=CAPACITY, threshold=0, seed=1)
+    buffer.put_many(RECORDS)
+    return buffer
+
+
+def time_extraction(kind, batched):
+    """Seconds to draw NUM_BATCHES batches of BATCH_SIZE (best of REPEATS)."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        buffer = make_buffer(kind)
+        extract = buffer.get_batch if batched else buffer.get_batch_per_sample
+        began = time.perf_counter()
+        for _ in range(NUM_BATCHES):
+            batch = extract(BATCH_SIZE, timeout=5.0)
+            assert len(batch) == BATCH_SIZE
+        best = min(best, time.perf_counter() - began)
+    return best
+
+
+@pytest.mark.parametrize("kind", ["firo", "reservoir"])
+def test_batched_extraction_at_least_3x_faster(kind):
+    per_sample = time_extraction(kind, batched=False)
+    batched = time_extraction(kind, batched=True)
+    speedup = per_sample / batched
+    per_batch = batched / NUM_BATCHES * 1e6
+    print(
+        f"\n[{kind}] per-sample {per_sample / NUM_BATCHES * 1e6:.1f} us/batch, "
+        f"batched {per_batch:.1f} us/batch, speedup {speedup:.2f}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"batched get_batch only {speedup:.2f}x faster than per-sample on {kind}"
+    )
+
+
+def test_batched_extraction_faster_on_fifo():
+    """FIFO has no RNG, so the win is smaller but must not regress."""
+    per_sample = time_extraction("fifo", batched=False)
+    batched = time_extraction("fifo", batched=True)
+    speedup = per_sample / batched
+    print(f"\n[fifo] speedup {speedup:.2f}x")
+    assert speedup >= 1.5 * NOISE_SCALE
+
+
+@pytest.mark.parametrize("kind", ["fifo", "firo", "reservoir"])
+def test_put_many_faster_than_per_sample_put(kind):
+    def time_put(bulk):
+        best = float("inf")
+        for _ in range(REPEATS):
+            cls = {"fifo": FIFOBuffer, "firo": FIROBuffer,
+                   "reservoir": ReservoirBuffer}[kind]
+            buffer = cls(capacity=CAPACITY) if kind == "fifo" else cls(
+                capacity=CAPACITY, threshold=0, seed=1)
+            began = time.perf_counter()
+            if bulk:
+                inserted = buffer.put_many(RECORDS)
+                assert inserted == CAPACITY
+            else:
+                for record in RECORDS:
+                    buffer.put(record)
+            best = min(best, time.perf_counter() - began)
+        return best
+
+    per_sample = time_put(bulk=False)
+    bulk = time_put(bulk=True)
+    speedup = per_sample / bulk
+    print(f"\n[{kind}] put_many speedup {speedup:.2f}x")
+    assert speedup >= 2.0 * NOISE_SCALE

@@ -54,7 +54,11 @@ class TrainingBuffer:
       lifts the threshold and (for policies that retain data) switches the
       buffer into draining mode.
 
-    Batches are built by repeated :meth:`get` calls (:meth:`get_batch`).
+    Batches are built by :meth:`get_batch`, which acquires the lock once and
+    delegates to the policy hook :meth:`_get_batch_locked` (vectorized in the
+    concrete buffers); bulk insertion goes through :meth:`put_many` and
+    :meth:`_put_many_locked`.  Both preserve the blocking / threshold /
+    exhaustion contract of the per-sample :meth:`get` / :meth:`put` path.
     """
 
     def __init__(self, capacity: int, threshold: int = 0) -> None:
@@ -88,6 +92,34 @@ class TrainingBuffer:
 
     def _do_get_locked(self) -> SampleRecord:
         raise NotImplementedError
+
+    def _get_batch_locked(self, max_count: int) -> List[SampleRecord]:
+        """Draw up to ``max_count`` samples; lock held, ``_can_get_locked()`` True.
+
+        The default implementation repeats the per-sample hook and therefore
+        matches it exactly; concrete buffers override it with a vectorized
+        draw (one RNG call for the whole batch).  Implementations must stop
+        as soon as another draw would violate the policy's threshold/drain
+        invariants, i.e. exactly when ``_can_get_locked()`` turns False.
+        """
+        drawn: List[SampleRecord] = []
+        while len(drawn) < max_count and self._can_get_locked():
+            drawn.append(self._do_get_locked())
+        return drawn
+
+    def _put_many_locked(self, records: List[SampleRecord]) -> int:
+        """Insert a prefix of ``records``; lock held, ``_can_put_locked()`` True.
+
+        Returns the number of records inserted.  The default repeats the
+        per-sample hook; concrete buffers override it with a bulk insert.
+        """
+        count = 0
+        for record in records:
+            if not self._can_put_locked():
+                break
+            self._do_put_locked(record)
+            count += 1
+        return count
 
     # ------------------------------------------------------------------- api
     def __len__(self) -> int:
@@ -131,6 +163,41 @@ class TrainingBuffer:
             self._lock.notify_all()
             return True
 
+    def put_many(
+        self, records: List[SampleRecord], timeout: Optional[float] = None
+    ) -> int:
+        """Insert many samples under a single lock acquisition.
+
+        Blocks while the buffer cannot accept more data, inserting in bulk
+        whenever space frees up.  Returns the number of records inserted:
+        ``len(records)`` when ``timeout`` is None (full blocking insert), or
+        possibly fewer when a ``timeout`` is given and it expires while
+        waiting for space — the caller can retry with the remaining suffix,
+        which is what lets the aggregator's shutdown path stay responsive.
+
+        Raises :class:`BufferClosedError` when the buffer is (or becomes)
+        closed, mirroring :meth:`put`.
+        """
+        records = list(records)
+        inserted = 0
+        with self._lock:
+            if self._closed:
+                raise BufferClosedError("cannot put into a closed buffer")
+            while inserted < len(records):
+                if not self._lock.wait_for(
+                    lambda: self._can_put_locked() or self._closed, timeout=timeout
+                ):
+                    return inserted
+                if self._closed:
+                    raise BufferClosedError("buffer closed while waiting to put")
+                count = self._put_many_locked(records[inserted:])
+                if count <= 0:  # defensive: a policy must accept >= 1 here
+                    break
+                inserted += count
+                self.total_put += count
+                self._lock.notify_all()
+        return inserted
+
     def get(self, timeout: Optional[float] = None) -> Optional[SampleRecord]:
         """Draw one sample, blocking until one is available.
 
@@ -152,12 +219,59 @@ class TrainingBuffer:
             return record
 
     def get_batch(self, batch_size: int, timeout: Optional[float] = None) -> List[SampleRecord]:
-        """Draw ``batch_size`` samples (shorter batch only when exhausted)."""
+        """Draw ``batch_size`` samples (shorter batch only when exhausted).
+
+        The whole batch is extracted under a single lock acquisition via the
+        vectorized :meth:`_get_batch_locked` hook; when the policy cannot
+        supply the full batch yet (population at the threshold) the call
+        waits, exactly like repeated :meth:`get` calls would, with
+        ``timeout`` bounding each wait.
+
+        ``TimeoutError`` is raised only when the timeout expires with *no*
+        sample drawn; a timeout mid-batch returns the partial batch instead,
+        so samples already extracted from the buffer are never discarded.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        batch: List[SampleRecord] = []
+        with self._lock:
+            def ready() -> bool:
+                return self._can_get_locked() or self._exhausted_locked() or self._closed
+
+            while len(batch) < batch_size:
+                if not self._lock.wait_for(ready, timeout=timeout):
+                    if batch:
+                        break
+                    raise TimeoutError("timed out waiting for a sample")
+                if self._closed or self._exhausted_locked():
+                    break
+                drawn = self._get_batch_locked(batch_size - len(batch))
+                if not drawn:  # defensive: ready() guaranteed >= 1 available
+                    break
+                self.total_got += len(drawn)
+                batch.extend(drawn)
+                self._lock.notify_all()
+        return batch
+
+    def get_batch_per_sample(
+        self, batch_size: int, timeout: Optional[float] = None
+    ) -> List[SampleRecord]:
+        """Reference batch extraction through repeated :meth:`get` calls.
+
+        Semantically equivalent to :meth:`get_batch` (one lock acquisition and
+        one RNG call per sample); kept as the baseline for the property tests
+        and the batched-path benchmark.
+        """
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         batch: List[SampleRecord] = []
         for _ in range(batch_size):
-            record = self.get(timeout=timeout)
+            try:
+                record = self.get(timeout=timeout)
+            except TimeoutError:
+                if batch:  # same contract as get_batch: keep drawn samples
+                    break
+                raise
             if record is None:
                 break
             batch.append(record)

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
-from typing import Deque
+from typing import Deque, List
 
 from repro.buffers.base import SampleRecord, TrainingBuffer
 
@@ -36,3 +37,15 @@ class FIFOBuffer(TrainingBuffer):
 
     def _do_get_locked(self) -> SampleRecord:
         return self._queue.popleft()
+
+    def _get_batch_locked(self, max_count: int) -> List[SampleRecord]:
+        take = min(max_count, len(self._queue))
+        drawn = list(itertools.islice(self._queue, take))
+        for _ in range(take):
+            self._queue.popleft()
+        return drawn
+
+    def _put_many_locked(self, records: List[SampleRecord]) -> int:
+        take = min(self.capacity - len(self._queue), len(records))
+        self._queue.extend(records[:take])
+        return take

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.buffers.base import SampleRecord, TrainingBuffer
+from repro.buffers.sampling import sample_without_replacement
 from repro.utils.seeding import derive_rng
 
 
@@ -53,3 +54,26 @@ class FIROBuffer(TrainingBuffer):
         # because reads pick uniformly random positions anyway.
         self._items[index], self._items[-1] = self._items[-1], self._items[index]
         return self._items.pop()
+
+    def _get_batch_locked(self, max_count: int) -> List[SampleRecord]:
+        # Sequential uniform draws from the shrinking population are exactly a
+        # uniform without-replacement sample, so the whole batch needs one
+        # vectorized RNG call.  While reception is ongoing the population may
+        # only be drawn down to the threshold.
+        available = len(self._items)
+        if not self._reception_over:
+            available -= self.threshold
+        take = min(max_count, available)
+        if take <= 0:
+            return []
+        chosen = sample_without_replacement(self._rng, len(self._items), take)
+        batch = [self._items[index] for index in chosen]
+        for index in sorted(chosen, reverse=True):
+            self._items[index] = self._items[-1]
+            self._items.pop()
+        return batch
+
+    def _put_many_locked(self, records: List[SampleRecord]) -> int:
+        take = min(self.capacity - len(self._items), len(records))
+        self._items.extend(records[:take])
+        return take

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.buffers.base import SampleRecord, TrainingBuffer
+from repro.buffers.sampling import sample_with_replacement, sample_without_replacement
 from repro.utils.seeding import derive_rng
 
 
@@ -77,6 +78,26 @@ class ReservoirBuffer(TrainingBuffer):
             self.evicted_seen += 1
         self._not_seen.append(record)
 
+    def _put_many_locked(self, records: List[SampleRecord]) -> int:
+        # Per-sample semantics: each insert beyond a full buffer evicts one
+        # uniformly random *seen* sample; sequential uniform evictions from the
+        # shrinking seen list are a uniform without-replacement set, so all
+        # victims are picked with one vectorized RNG call.
+        count = min(len(records), self.capacity - len(self._not_seen))
+        if count <= 0:
+            return 0
+        total = len(self._seen) + len(self._not_seen)
+        free = max(0, self.capacity - total)
+        evictions = count - free
+        if evictions > 0:
+            victims = sample_without_replacement(self._rng, len(self._seen), evictions)
+            for index in sorted(victims, reverse=True):
+                self._seen[index] = self._seen[-1]
+                self._seen.pop()
+            self.evicted_seen += evictions
+        self._not_seen.extend(records[:count])
+        return count
+
     # ------------------------------------------------------------------- get
     def _can_get_locked(self) -> bool:
         total = len(self._seen) + len(self._not_seen)
@@ -107,6 +128,55 @@ class ReservoirBuffer(TrainingBuffer):
                 self._seen[seen_index] = self._seen[-1]
                 self._seen.pop()
         return record
+
+    def _at_locked(self, index: int) -> SampleRecord:
+        """Sample at ``index`` in the unseen-then-seen population ordering."""
+        num_unseen = len(self._not_seen)
+        if index < num_unseen:
+            return self._not_seen[index]
+        return self._seen[index - num_unseen]
+
+    def _get_batch_locked(self, max_count: int) -> List[SampleRecord]:
+        total = len(self._seen) + len(self._not_seen)
+        if total == 0:
+            return []
+        num_unseen = len(self._not_seen)
+        if self._reception_over:
+            # Drain mode: every draw removes its sample, so sequential uniform
+            # draws are a uniform without-replacement sample of the snapshot.
+            take = min(max_count, total)
+            chosen = sample_without_replacement(self._rng, total, take)
+            batch = [self._at_locked(index) for index in chosen]
+            unseen_idx = [i for i in chosen if i < num_unseen]
+            seen_idx = [i - num_unseen for i in chosen if i >= num_unseen]
+            self.repeated_reads += len(seen_idx)
+            for index in sorted(unseen_idx, reverse=True):
+                self._not_seen[index] = self._not_seen[-1]
+                self._not_seen.pop()
+            for index in sorted(seen_idx, reverse=True):
+                self._seen[index] = self._seen[-1]
+                self._seen.pop()
+            return batch
+        # Reception ongoing: draws never shrink the population (unseen samples
+        # merely move to the seen list), so the batch is iid uniform *with*
+        # replacement over a fixed snapshot — one vectorized RNG call.  A
+        # repeat of an unseen sample counts as a repeated read from its second
+        # occurrence on, matching the per-sample bookkeeping.
+        chosen = sample_with_replacement(self._rng, total, max_count)
+        batch = []
+        newly_seen = set()
+        for index in chosen:
+            if index < num_unseen:
+                batch.append(self._not_seen[index])
+                newly_seen.add(index)
+            else:
+                batch.append(self._seen[index - num_unseen])
+        self.repeated_reads += max_count - len(newly_seen)
+        for index in sorted(newly_seen, reverse=True):
+            self._seen.append(self._not_seen[index])
+            self._not_seen[index] = self._not_seen[-1]
+            self._not_seen.pop()
+        return batch
 
     # -------------------------------------------------------------- sampling
     def sample_without_replacement(self, batch_size: int) -> Optional[List[SampleRecord]]:

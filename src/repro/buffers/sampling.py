@@ -1,0 +1,58 @@
+"""Fast uniform index sampling for the buffers' batched hot path.
+
+The batched ``get_batch`` path replaces per-sample scalar RNG calls with one
+vectorized draw per batch.  ``Generator.integers``/``Generator.choice`` carry
+several microseconds of call overhead each, which matters at the per-batch
+granularity of the training loop, so these helpers draw uniform indices via a
+single ``Generator.random`` call (the cheapest vectorized primitive) and do
+the remaining arithmetic in plain Python.
+
+``sample_without_replacement`` uses rejection sampling: iid uniform draws with
+duplicates discarded yield exactly the distribution of sequential draws from a
+shrinking population (the per-sample semantics of the FIRO/drain paths).  When
+the requested size is a large fraction of the population, rejection degrades,
+so it falls back to ``Generator.choice``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["sample_with_replacement", "sample_without_replacement"]
+
+
+def sample_with_replacement(rng: np.random.Generator, population: int, size: int) -> List[int]:
+    """``size`` iid uniform indices in ``[0, population)`` as Python ints."""
+    return (rng.random(size) * population).astype(np.intp).tolist()
+
+
+def sample_without_replacement(
+    rng: np.random.Generator, population: int, size: int
+) -> List[int]:
+    """``size`` distinct uniform indices in ``[0, population)``, in draw order.
+
+    Distributionally identical to drawing one uniform index at a time from the
+    shrinking remainder (first-occurrence order of an iid stream is exactly
+    that process).
+    """
+    if size >= population:
+        return rng.permutation(population).tolist()
+    if 4 * size >= population:
+        return rng.choice(population, size=size, replace=False).tolist()
+    draws = (rng.random(size) * population).astype(np.intp).tolist()
+    taken = set(draws)
+    if len(taken) == size:  # no collision: the common case for size << population
+        return draws
+    chosen: List[int] = []
+    taken.clear()
+    while True:
+        for index in draws:
+            if index not in taken:
+                taken.add(index)
+                chosen.append(index)
+        missing = size - len(chosen)
+        if missing == 0:
+            return chosen
+        draws = (rng.random(missing) * population).astype(np.intp).tolist()

@@ -83,10 +83,12 @@ class BufferStatistics:
         self.unseen_sizes.append(int(unseen) if unseen is not None else int(size))
         self.throughputs.append(float(throughput) if throughput is not None else float("nan"))
 
-    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """(times, sizes, unseen_sizes, throughputs) as numpy arrays."""
         return (
             np.asarray(self.times),
             np.asarray(self.sizes),
+            np.asarray(self.unseen_sizes),
             np.asarray(self.throughputs),
         )
 

@@ -41,13 +41,34 @@ class ThroughputMeter:
             return self.clock.now()  # type: ignore[attr-defined]
         return time.monotonic()
 
+    def start(self) -> None:
+        """Open the measurement clock before the first batch is trained.
+
+        Called by the training loop once the first batch has been *drawn*
+        (data is available) but before it is trained, so the first window
+        spans ``window`` full batch intervals without including the initial
+        buffer threshold-fill wait.  Without it, the clock can only start at
+        the *completion* of the first batch, and the first reported value
+        covers ``window`` batches over ``window - 1`` intervals (~1/window
+        overestimate).  Idempotent: later calls are no-ops.
+        """
+        if self.start_time is not None and self._window_start is not None:
+            return
+        now = self._now()
+        if self.start_time is None:
+            self.start_time = now
+        if self._window_start is None:
+            self._window_start = now
+
     def record_batch(self, batch_size: int) -> Optional[float]:
         """Record one trained batch; returns the throughput if a window closed."""
         now = self._now()
         if self.start_time is None:
             self.start_time = now
         if self._window_start is None:
-            self._window_start = now
+            # start() was not called: fall back to opening the window here
+            # (first-window bias documented in start()).
+            self._window_start = self.start_time
         self._batches_in_window += 1
         self._samples_in_window += int(batch_size)
         self.total_batches += 1
@@ -165,20 +186,37 @@ class TrainingMetrics:
         }
 
 
+def throughput_from_summary(summary: Dict[str, float]) -> float:
+    """Study-level throughput from a summary dict, accepting the legacy key.
+
+    ``merge_worker_metrics`` writes ``total_throughput`` (plus the deprecated
+    ``mean_throughput`` alias); summaries recorded before the rename only
+    carry the old key.  Every reader goes through this helper so the
+    backward-compat rule lives in one place.
+    """
+    return float(summary.get("total_throughput", summary.get("mean_throughput", 0.0)))
+
+
 def merge_worker_metrics(per_rank: List[TrainingMetrics]) -> Dict[str, float]:
     """Aggregate per-rank metrics into study-level numbers.
 
-    Throughput sums across ranks (each rank feeds its own GPU); losses come
-    from rank 0 (replicas are identical after all-reduce); batch counts sum.
+    Throughput sums across ranks (each rank feeds its own GPU), so it is
+    reported as ``total_throughput``; ``mean_throughput`` is kept as a
+    deprecated alias with the same value because earlier versions (mis)named
+    the sum that way.  Losses come from rank 0 (replicas are identical after
+    all-reduce); batch counts sum.
     """
     if not per_rank:
         return {}
     rank0 = per_rank[0]
+    total_throughput = float(sum(m.throughput.mean_throughput() for m in per_rank))
     return {
         "num_ranks": float(len(per_rank)),
         "total_batches": float(sum(m.batches_trained for m in per_rank)),
         "total_samples": float(sum(m.samples_trained for m in per_rank)),
-        "mean_throughput": float(sum(m.throughput.mean_throughput() for m in per_rank)),
+        "total_throughput": total_throughput,
+        # Deprecated alias, see docstring.
+        "mean_throughput": total_throughput,
         "best_val_mse": rank0.losses.best_validation_loss,
         "final_val_mse": rank0.losses.final_validation_loss,
         "wall_time": max(m.wall_time for m in per_rank),

@@ -7,7 +7,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core.metrics import TrainingMetrics
+from repro.core.metrics import TrainingMetrics, throughput_from_summary
 from repro.launcher.launcher import LauncherReport
 from repro.offline.trainer import OfflineTrainingResult
 from repro.server.server import ServerResult
@@ -33,9 +33,14 @@ class OnlineStudyResult:
         return self.server.best_validation_loss
 
     @property
-    def mean_throughput(self) -> float:
+    def total_throughput(self) -> float:
         """Aggregate samples/second processed across all server ranks."""
-        return float(self.server.summary.get("mean_throughput", 0.0))
+        return throughput_from_summary(self.server.summary)
+
+    @property
+    def mean_throughput(self) -> float:
+        """Deprecated alias of :attr:`total_throughput` (it sums over ranks)."""
+        return self.total_throughput
 
     @property
     def total_batches(self) -> int:
@@ -80,8 +85,13 @@ class OfflineStudyResult:
         return self.training.best_validation_loss
 
     @property
+    def total_throughput(self) -> float:
+        return throughput_from_summary(self.training.summary)
+
+    @property
     def mean_throughput(self) -> float:
-        return float(self.training.summary.get("mean_throughput", 0.0))
+        """Deprecated alias of :attr:`total_throughput` (it sums over ranks)."""
+        return self.total_throughput
 
     @property
     def total_elapsed(self) -> float:

@@ -92,6 +92,30 @@ class MessageRouter:
         except queue.Empty:
             return None
 
+    def poll_many(
+        self, rank: int, max_messages: int = 64, timeout: float | None = 0.05
+    ) -> List[Message]:
+        """Pop up to ``max_messages`` messages for ``rank`` in one call.
+
+        Blocks up to ``timeout`` for the first message only, then drains
+        whatever else is already queued without blocking — the chunked
+        consumption pattern of the data aggregator.  Returns an empty list on
+        timeout.
+        """
+        if max_messages <= 0:
+            raise ValueError("max_messages must be positive")
+        first = self.poll(rank, timeout=timeout)
+        if first is None:
+            return []
+        messages = [first]
+        q = self._queues[rank]
+        while len(messages) < max_messages:
+            try:
+                messages.append(q.get_nowait())
+            except queue.Empty:
+                break
+        return messages
+
     def pending(self, rank: int) -> int:
         """Number of messages currently queued for server rank ``rank``."""
         return self._queues[rank].qsize()

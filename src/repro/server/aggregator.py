@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Optional, Set
+from typing import List, Optional, Set
 
 import numpy as np
 
@@ -31,6 +31,9 @@ class AggregatorStats:
     samples_received: int = 0
     bytes_received: int = 0
     duplicates_discarded: int = 0
+    #: Samples drained from the transport but abandoned because the
+    #: aggregator was stopped while waiting for buffer space.
+    samples_dropped: int = 0
     clients_seen: Set[int] = field(default_factory=set)
     clients_finished: Set[int] = field(default_factory=set)
 
@@ -54,6 +57,13 @@ class DataAggregator:
         Polling timeout of the transport queue in seconds.
     heartbeat_monitor:
         Optional liveness tracker shared with the fault-handling logic.
+    max_drain:
+        Maximum number of transport messages drained per loop iteration; the
+        time-step messages of one chunk are inserted into the buffer with a
+        single :meth:`TrainingBuffer.put_many` call.
+    put_retry_timeout:
+        Bound on each wait for buffer space, so a full buffer never keeps the
+        thread from noticing a stop request.
     """
 
     def __init__(
@@ -65,6 +75,8 @@ class DataAggregator:
         poll_timeout: float = 0.02,
         heartbeat_monitor: Optional[HeartbeatMonitor] = None,
         message_log: Optional[MessageLog] = None,
+        max_drain: int = 64,
+        put_retry_timeout: float = 0.2,
     ) -> None:
         self.rank = int(rank)
         self.router = router
@@ -73,6 +85,8 @@ class DataAggregator:
         self.poll_timeout = float(poll_timeout)
         self.heartbeat_monitor = heartbeat_monitor
         self.message_log = message_log or MessageLog()
+        self.max_drain = int(max_drain)
+        self.put_retry_timeout = float(put_retry_timeout)
         self.stats = AggregatorStats()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
@@ -109,23 +123,94 @@ class DataAggregator:
     # ------------------------------------------------------------------ logic
     def _run(self) -> None:
         while not self._stop.is_set():
-            message = self.router.poll(self.rank, timeout=self.poll_timeout)
-            if message is None:
+            messages = self.router.poll_many(
+                self.rank, max_messages=self.max_drain, timeout=self.poll_timeout
+            )
+            if not messages:
                 if self.reception_complete:
                     break
                 continue
             try:
-                self._handle(message)
+                self._handle_many(messages)
             except BufferClosedError:
                 break
         # Whatever the exit reason, make sure the training thread is unblocked.
         if self.reception_complete:
             self.buffer.signal_reception_over()
 
+    def _handle_many(self, messages: List[Message]) -> None:
+        """Process one drained chunk: bulk-insert samples, dispatch control.
+
+        Consecutive time-step messages are converted and inserted with a
+        single ``put_many``.  Pending samples are flushed before a
+        ``ClientFinished`` so that the message which may flip the buffer into
+        drain mode always observes every sample received before it; other
+        control messages (hello, heartbeat) never touch the buffer and are
+        dispatched without fragmenting the bulk insert.
+        """
+        records: List[SampleRecord] = []
+        sizes: List[int] = []
+        for message in messages:
+            if isinstance(message, TimeStepMessage):
+                record = self._record_from_time_step(message)
+                if record is not None:
+                    records.append(record)
+                    sizes.append(message.nbytes())
+            else:
+                if records and isinstance(message, ClientFinished):
+                    self._flush(records, sizes)
+                    records, sizes = [], []
+                self._handle_control(message)
+        if records:
+            self._flush(records, sizes)
+
+    def _flush(self, records: List[SampleRecord], sizes: List[int]) -> None:
+        """Insert ``records`` into the buffer, staying responsive to stop().
+
+        Each wait for buffer space is bounded by ``put_retry_timeout``; when a
+        stop is requested while the buffer is full, the remaining samples are
+        dropped (counted in ``stats.samples_dropped``) instead of blocking
+        shutdown forever.
+        """
+        offset = 0
+        while offset < len(records):
+            if self._stop.is_set():
+                self.stats.samples_dropped += len(records) - offset
+                return
+            try:
+                inserted = self.buffer.put_many(
+                    records[offset:], timeout=self.put_retry_timeout
+                )
+            except BufferClosedError:
+                # Abort path: the remainder can never be inserted — account
+                # for it before the error unwinds the receive loop.
+                self.stats.samples_dropped += len(records) - offset
+                raise
+            self.stats.samples_received += inserted
+            self.stats.bytes_received += sum(sizes[offset : offset + inserted])
+            offset += inserted
+
+    def _record_from_time_step(self, message: TimeStepMessage) -> Optional[SampleRecord]:
+        """Convert a time-step message to a sample; None for duplicates."""
+        self.stats.clients_seen.add(message.client_id)
+        if self.heartbeat_monitor is not None:
+            self.heartbeat_monitor.touch(message.client_id, progress=float(message.time_step))
+        if not self.message_log.register(message.client_id, message.time_step):
+            self.stats.duplicates_discarded += 1
+            return None
+        return SampleRecord(
+            inputs=message.sample_input(),
+            target=np.asarray(message.payload, dtype=np.float32),
+            source_id=message.client_id,
+            time_step=message.time_step,
+        )
+
     def _handle(self, message: Message) -> None:
-        if isinstance(message, TimeStepMessage):
-            self._handle_time_step(message)
-        elif isinstance(message, ClientHello):
+        """Process a single message (kept for tests and external callers)."""
+        self._handle_many([message])
+
+    def _handle_control(self, message: Message) -> None:
+        if isinstance(message, ClientHello):
             self.stats.clients_seen.add(message.client_id)
             if self.heartbeat_monitor is not None:
                 self.heartbeat_monitor.touch(message.client_id)
@@ -142,20 +227,3 @@ class DataAggregator:
                 )
         else:  # pragma: no cover - defensive
             logger.warning("rank %d aggregator ignoring unknown message %r", self.rank, message)
-
-    def _handle_time_step(self, message: TimeStepMessage) -> None:
-        self.stats.clients_seen.add(message.client_id)
-        if self.heartbeat_monitor is not None:
-            self.heartbeat_monitor.touch(message.client_id, progress=float(message.time_step))
-        if not self.message_log.register(message.client_id, message.time_step):
-            self.stats.duplicates_discarded += 1
-            return
-        record = SampleRecord(
-            inputs=message.sample_input(),
-            target=np.asarray(message.payload, dtype=np.float32),
-            source_id=message.client_id,
-            time_step=message.time_step,
-        )
-        self.buffer.put(record)
-        self.stats.samples_received += 1
-        self.stats.bytes_received += message.nbytes()

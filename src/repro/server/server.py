@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.buffers import make_buffer
 from repro.buffers.base import TrainingBuffer
-from repro.core.metrics import TrainingMetrics, merge_worker_metrics
+from repro.core.metrics import TrainingMetrics, merge_worker_metrics, throughput_from_summary
 from repro.nn.losses import Loss, MSELoss
 from repro.nn.module import Module
 from repro.nn.optim import Adam, Optimizer
@@ -106,7 +106,8 @@ class ServerResult:
 
     @property
     def total_throughput(self) -> float:
-        return float(self.summary.get("mean_throughput", 0.0))
+        """Samples/second summed across all server ranks."""
+        return throughput_from_summary(self.summary)
 
 
 class TrainingServer:

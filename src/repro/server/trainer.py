@@ -87,20 +87,46 @@ class TrainingWorker:
         self.metrics.throughput.window = config.throughput_window
         self.occurrences = OccurrenceTracker()
         self._clock = WallClock()
+        # Preallocated float32 staging arrays reused by every _stack_batch
+        # call (allocated lazily once the sample shapes are known).
+        self._batch_inputs: Optional[Array] = None
+        self._batch_targets: Optional[Array] = None
 
     # ------------------------------------------------------------------ batch
     def _stack_batch(self, batch: List[SampleRecord]) -> tuple[Array, Array]:
-        inputs = np.stack([record.inputs for record in batch]).astype(np.float32)
-        targets = np.stack([record.target for record in batch]).astype(np.float32)
+        """Copy a batch into the preallocated staging arrays.
+
+        Returns views of length ``len(batch)``; the arrays are overwritten by
+        the next call, which is safe because forward/backward of one batch
+        complete before the next batch is stacked.
+        """
+        count = len(batch)
+        first = batch[0]
+        input_shape = np.shape(first.inputs)
+        target_shape = np.shape(first.target)
+        if (
+            self._batch_inputs is None
+            or self._batch_inputs.shape[0] < count
+            or self._batch_inputs.shape[1:] != input_shape
+            or self._batch_targets.shape[1:] != target_shape
+        ):
+            rows = max(self.config.batch_size, count)
+            self._batch_inputs = np.empty((rows,) + input_shape, dtype=np.float32)
+            self._batch_targets = np.empty((rows,) + target_shape, dtype=np.float32)
+        inputs = self._batch_inputs[:count]
+        targets = self._batch_targets[:count]
+        for row, record in enumerate(batch):
+            inputs[row] = record.inputs
+            targets[row] = record.target
         return inputs, targets
 
-    def _train_batch(self, batch: List[SampleRecord]) -> float:
+    def _train_batch(self, batch: List[SampleRecord], sync: bool = True) -> float:
         inputs, targets = self._stack_batch(batch)
         self.model.zero_grad()
         predictions = self.model.forward(inputs)
         loss_value = self.loss.forward(predictions, targets)
         self.model.backward(self.loss.backward())
-        if self.comm is not None:
+        if self.comm is not None and sync:
             sync_gradients(self.model, self.comm, average=True)
         self.optimizer.step()
         if self.scheduler is not None:
@@ -132,11 +158,22 @@ class TrainingWorker:
                 self._collective_continue(False)
                 break
             batch = self.buffer.get_batch(self.config.batch_size, timeout=self.config.get_timeout)
-            have_data = len(batch) > 0
-            if not self._collective_continue(have_data):
+            # Open the throughput window once data is available but before the
+            # first batch is trained: the first measurement then covers
+            # `window` full batch intervals, excluding the initial buffer
+            # threshold-fill wait (previously the window only opened at the
+            # *completion* of the first batch, overestimating the first
+            # Figure-2 point by ~1/window).  No-op after the first batch.
+            self.metrics.throughput.start()
+            keep_going = self._collective_continue(len(batch) > 0)
+            if not batch:
                 break
-
-            loss_value = self._train_batch(batch)
+            # A rank can hold a final (possibly partial) batch while the
+            # collective already agreed to stop (another rank ran dry).  Those
+            # samples were consumed from the buffer, so train on them rather
+            # than discarding them — without the gradient collective, because
+            # ranks that agreed to stop with no data will not participate.
+            loss_value = self._train_batch(batch, sync=keep_going)
             batch_index += 1
             self.metrics.batches_trained = batch_index
             self.metrics.samples_trained += len(batch)
@@ -178,6 +215,9 @@ class TrainingWorker:
                     batches_trained=batch_index,
                     samples_trained=self.metrics.samples_trained,
                 )
+
+            if not keep_going:
+                break
 
         # Final validation so every run reports an end-of-training MSE.
         if self.validator is not None and self.rank == 0:

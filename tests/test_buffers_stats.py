@@ -44,9 +44,10 @@ def test_buffer_statistics_series():
     stats.record(0.0, 10, unseen=5, throughput=100.0)
     stats.record(1.0, 20, unseen=8, throughput=200.0)
     stats.record(2.0, 30)
-    times, sizes, throughputs = stats.as_arrays()
+    times, sizes, unseen_sizes, throughputs = stats.as_arrays()
     assert times.tolist() == [0.0, 1.0, 2.0]
     assert sizes.tolist() == [10, 20, 30]
+    assert unseen_sizes.tolist() == [5, 8, 30]  # unseen defaults to size
     assert stats.mean_population() == pytest.approx(20.0)
     assert stats.mean_throughput() == pytest.approx(150.0)  # NaN entries excluded
 

@@ -45,9 +45,11 @@ def test_online_study_multi_rank_distributes_data(tiny_scale, tiny_case):
     # Round-robin distribution balances data between the two ranks.
     assert abs(per_rank[0] - per_rank[1]) <= expected_unique * 0.2
     assert len(result.server.per_rank_metrics) == 2
-    # Replicas stay synchronised: both ranks ran the same number of batches.
+    # Replicas run in lockstep while the collective continues; at termination
+    # a rank may train one extra (possibly partial) final batch sync-free
+    # rather than discarding samples it already drew from its buffer.
     batches = [m.batches_trained for m in result.server.per_rank_metrics]
-    assert batches[0] == batches[1]
+    assert abs(batches[0] - batches[1]) <= 1
 
 
 def test_online_study_respects_max_batches(tiny_scale, tiny_case):
