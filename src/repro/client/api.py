@@ -19,17 +19,26 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.parallel.messages import ClientFinished, ClientHello, Heartbeat, TimeStepMessage
-from repro.parallel.transport import Connection, MessageRouter
+from repro.parallel.transport import Connection, Transport
 
 Array = np.ndarray
 
 
 class ClientAPI:
-    """Streaming API handed to an instrumented simulation code."""
+    """Streaming API handed to an instrumented simulation code.
 
-    def __init__(self, router: MessageRouter, client_id: int) -> None:
-        self._router = router
+    ``send_batch_size`` enables client-side batching: time steps accumulate
+    per server rank and each rank's batch is pushed as one transport call
+    (one packed buffer on the multi-process backend).  Control messages flush
+    pending batches first, so the server never observes a ``ClientFinished``
+    ahead of data sent before it.
+    """
+
+    def __init__(self, transport: Transport, client_id: int,
+                 send_batch_size: int = 1) -> None:
+        self._transport = transport
         self.client_id = int(client_id)
+        self.send_batch_size = int(send_batch_size)
         self._connection: Connection | None = None
         self._sequence = 0
         self._finalized = False
@@ -45,7 +54,9 @@ class ClientAPI:
         """Connect to the server and announce this client's metadata."""
         if self._connection is not None:
             raise RuntimeError("init_communication called twice")
-        self._connection = self._router.connect(self.client_id)
+        self._connection = self._transport.connect(
+            self.client_id, batch_size=self.send_batch_size
+        )
         hello = ClientHello(
             client_id=self.client_id,
             parameters=tuple(float(p) for p in parameters),
@@ -94,10 +105,30 @@ class ClientAPI:
         return connection.send_round_robin(message)
 
     def send_heartbeat(self, timestamp: float, progress: float) -> None:
-        """Send a liveness signal to server rank 0 (fault-detection channel)."""
+        """Send a liveness signal to server rank 0 (fault-detection channel).
+
+        Pending batches are flushed first so the reported progress never
+        overstates what the server has actually received.
+        """
         connection = self._require_connection()
+        connection.flush()
         connection.send_to(0, Heartbeat(client_id=self.client_id, timestamp=timestamp,
                                         progress=progress))
+
+    def undelivered_steps(self) -> list[int]:
+        """Time steps buffered client-side (batching) and not yet pushed.
+
+        A failing client uses this to rewind its checkpoint below any step
+        that never reached the transport, so a checkpointed restart cannot
+        silently skip samples the server never saw.
+        """
+        if self._connection is None:
+            return []
+        return sorted(
+            message.time_step
+            for message in self._connection.pending()
+            if isinstance(message, TimeStepMessage)
+        )
 
     # --------------------------------------------------------------- teardown
     def finalize_communication(self) -> None:

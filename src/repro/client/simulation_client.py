@@ -22,7 +22,7 @@ from typing import Callable, Iterator, Optional, Protocol, Tuple
 import numpy as np
 
 from repro.client.api import ClientAPI
-from repro.parallel.transport import MessageRouter
+from repro.parallel.transport import Transport
 from repro.utils.exceptions import ReproError
 
 Array = np.ndarray
@@ -67,7 +67,7 @@ class SimulationClient:
     solver:
         Object with ``iter_steps(parameters)`` yielding ``(step, time, field)``.
     router:
-        Transport router connecting to the server ranks.
+        Transport backend connecting to the server ranks.
     num_time_steps:
         Number of steps the simulation will produce (sent in the hello message).
     step_delay:
@@ -78,14 +78,19 @@ class SimulationClient:
     checkpoint_enabled:
         When true, restarts resume from the last completed step instead of
         recomputing (and resending) everything.
+    send_batch_size:
+        Client-side batching width handed to :class:`ClientAPI`: time steps
+        accumulate per server rank and each rank's batch travels as one
+        transport push (one packed buffer on the multi-process backend).
     """
 
     client_id: int
     parameters: Tuple[float, ...]
     solver: SupportsIterSteps
-    router: MessageRouter
+    router: Transport
     num_time_steps: int
     step_delay: float = 0.0
+    send_batch_size: int = 1
     fail_at_step: Optional[int] = None
     checkpoint_enabled: bool = True
     restart_count: int = field(default=0, init=False)
@@ -98,7 +103,8 @@ class SimulationClient:
         heat solver this is a :class:`HeatParameters`); when ``None`` the raw
         parameter tuple is used.
         """
-        api = ClientAPI(self.router, self.client_id)
+        api = ClientAPI(self.router, self.client_id,
+                        send_batch_size=self.send_batch_size)
         start = time.monotonic()
         params_obj = solver_params if solver_params is not None else self.parameters
         resume_from = self._checkpoint_step if self.checkpoint_enabled else 0
@@ -126,6 +132,13 @@ class SimulationClient:
                 if self.step_delay > 0:
                     time.sleep(self.step_delay)
         except SimulationFailure:
+            # Steps still buffered client-side (send batching) died with the
+            # connection; rewind the checkpoint below the oldest of them so a
+            # checkpointed restart recomputes and resends them — the server
+            # deduplicates the overlap, but it cannot recover a skipped step.
+            undelivered = api.undelivered_steps()
+            if undelivered:
+                self._checkpoint_step = min(self._checkpoint_step, min(undelivered) - 1)
             failed_at = self._checkpoint_step
             raise
         finally:
@@ -150,7 +163,7 @@ class SimulationClient:
 
 def make_heat_client_factory(
     solver_factory: Callable[[], SupportsIterSteps],
-    router: MessageRouter,
+    router: Transport,
     num_time_steps: int,
     step_delay: float = 0.0,
 ) -> Callable[[int, Array], SimulationClient]:

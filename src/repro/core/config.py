@@ -41,10 +41,22 @@ class OnlineStudyConfig:
     lr_gamma: float = 0.5
     lr_min: float = 2.5e-4
 
+    # Transport.  ``"inproc"`` hands messages between threads by reference;
+    # ``"mp"`` runs each client as a forked OS process streaming packed
+    # message batches over multiprocessing queues.  ``transport_batch_size``
+    # is the client-side batching width (messages per packed buffer).
+    transport: str = "inproc"
+    transport_batch_size: int = 1
+    transport_queue_size: int = 100_000
+    #: With ``transport="mp"``, kill a client process that has not finished
+    #: after this many seconds and restart it.  This caps a client's *total
+    #: runtime*, not its liveness, so it is opt-in (``None`` waits forever);
+    #: set it only when an upper bound on one simulation's duration is known.
+    client_process_timeout: Optional[float] = None
+
     # Misc.
     batch_compute_delay: float = 0.0
     seed: int = 0
-    transport_queue_size: int = 100_000
     checkpoint_dir: Optional[Path] = None
     checkpoint_interval: int = 0
     track_occurrences: bool = True
@@ -60,6 +72,12 @@ class OnlineStudyConfig:
             raise ConfigurationError("buffer_threshold must be in [0, capacity]")
         if self.batch_size <= 0:
             raise ConfigurationError("batch_size must be positive")
+        if self.transport not in ("inproc", "mp"):
+            raise ConfigurationError("transport must be 'inproc' or 'mp'")
+        if self.transport_batch_size <= 0:
+            raise ConfigurationError("transport_batch_size must be positive")
+        if self.client_process_timeout is not None and self.client_process_timeout <= 0:
+            raise ConfigurationError("client_process_timeout must be positive or None")
 
     @property
     def lr_step_batches(self) -> int:

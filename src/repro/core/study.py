@@ -25,7 +25,7 @@ from repro.launcher.launcher import ClientSpec, Launcher, LauncherConfig
 from repro.offline.dataset import SimulationDataset
 from repro.offline.storage import SimulationStore
 from repro.offline.trainer import OfflineTrainer, OfflineTrainingConfig
-from repro.parallel.transport import MessageRouter
+from repro.parallel.transport import Transport, make_transport
 from repro.server.server import ServerConfig, TrainingServer
 from repro.server.validation import ValidationSet
 
@@ -57,7 +57,7 @@ class OnlineStudy:
             for index, row in enumerate(parameters)
         ]
 
-    def _build_server(self, router: MessageRouter) -> TrainingServer:
+    def _build_server(self, router: Transport) -> TrainingServer:
         cfg = self.config
         server_config = ServerConfig(
             num_ranks=cfg.num_ranks,
@@ -81,7 +81,7 @@ class OnlineStudy:
             validation=self.validation,
         )
 
-    def _build_launcher(self, router: MessageRouter, specs: Sequence[ClientSpec]) -> Launcher:
+    def _build_launcher(self, router: Transport, specs: Sequence[ClientSpec]) -> Launcher:
         cfg = self.config
         solver_steps = self.case.solver_config.num_steps
 
@@ -93,12 +93,15 @@ class OnlineStudy:
                 router=router,
                 num_time_steps=solver_steps,
                 step_delay=cfg.client_step_delay,
+                send_batch_size=cfg.transport_batch_size,
             )
 
         launcher_config = LauncherConfig(
             series_sizes=cfg.series_sizes,
             max_concurrent_clients=cfg.max_concurrent_clients,
             inter_series_delay=cfg.inter_series_delay,
+            client_mode="process" if cfg.transport == "mp" else "thread",
+            process_join_timeout=cfg.client_process_timeout,
         )
         return Launcher(client_factory, specs, launcher_config)
 
@@ -106,17 +109,21 @@ class OnlineStudy:
     def run(self) -> OnlineStudyResult:
         """Run the full online study (blocking) and return its result."""
         cfg = self.config
-        router = MessageRouter(cfg.num_ranks, max_queue_size=cfg.transport_queue_size)
+        router = make_transport(
+            cfg.transport, cfg.num_ranks, max_queue_size=cfg.transport_queue_size
+        )
         specs = self._build_specs()
         server = self._build_server(router)
         launcher = self._build_launcher(router, specs)
 
         start = time.monotonic()
-        launcher.start()
-        server_result = server.run()
-        launcher_report = launcher.join()
-        elapsed = time.monotonic() - start
-        router.close()
+        try:
+            launcher.start()
+            server_result = server.run()
+            launcher_report = launcher.join()
+            elapsed = time.monotonic() - start
+        finally:
+            router.shutdown()
 
         unique_samples = cfg.num_simulations * self.case.solver_config.num_steps
         dataset_bytes = unique_samples * self.case.field_size * 4
@@ -131,6 +138,7 @@ class OnlineStudy:
                 "num_ranks": cfg.num_ranks,
                 "num_simulations": cfg.num_simulations,
                 "batch_size": cfg.batch_size,
+                "transport": cfg.transport,
                 **self.case.describe(),
             },
         )

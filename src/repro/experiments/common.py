@@ -84,6 +84,8 @@ def online_config(
     num_ranks: int = 1,
     use_series: bool = True,
     max_batches: Optional[int] = None,
+    transport: str = "inproc",
+    transport_batch_size: int = 1,
 ) -> OnlineStudyConfig:
     """Online study configuration for one buffer policy and GPU count."""
     return OnlineStudyConfig(
@@ -102,6 +104,8 @@ def online_config(
         lr_step_samples=scale.lr_step_samples,
         batch_compute_delay=scale.batch_compute_delay,
         seed=scale.seed,
+        transport=transport,
+        transport_batch_size=transport_batch_size,
     )
 
 
@@ -114,11 +118,14 @@ def run_online_with_buffer(
     use_series: bool = True,
     max_batches: Optional[int] = None,
     num_simulations: Optional[int] = None,
+    transport: str = "inproc",
+    transport_batch_size: int = 1,
 ) -> OnlineStudyResult:
     """Run one online study with the given buffer policy and rank count."""
     scale = scale or default_scale()
     case = case or build_case(scale)
-    config = online_config(scale, buffer_kind, num_ranks, use_series, max_batches)
+    config = online_config(scale, buffer_kind, num_ranks, use_series, max_batches,
+                           transport=transport, transport_batch_size=transport_batch_size)
     if num_simulations is not None:
         config.num_simulations = num_simulations
         config.series_sizes = None

@@ -14,10 +14,17 @@ preserves the orchestration logic that matters for the experiments:
 * **fault tolerance**: a client raising an exception is restarted (up to a
   configurable number of attempts); restarted clients resend data which the
   server deduplicates through its message log.
+
+With ``client_mode="process"`` each client runs in a forked OS process (the
+paper's real deployment shape) instead of a pool thread: the process streams
+through a multi-process transport backend, reports its step count over a
+pipe, and a dead or killed process is restarted like a failed one — the
+restarted client resends from step zero and the server deduplicates.
 """
 
 from __future__ import annotations
 
+import multiprocessing as _std_mp
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor, as_completed
@@ -32,6 +39,80 @@ from repro.utils.logging import get_logger
 logger = get_logger("launcher")
 
 Array = np.ndarray
+
+_fork_context = None
+
+
+def _fork_mp():
+    """The ``fork`` multiprocessing context, resolved lazily.
+
+    Clients are forked, not spawned: the client factory closes over solver
+    and transport objects that are inherited through fork without pickling.
+    Resolving lazily keeps thread-mode studies importable on platforms
+    without the fork start method (Windows); only ``client_mode="process"``
+    requires it.
+    """
+    global _fork_context
+    if _fork_context is None:
+        try:
+            _fork_context = _std_mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise RuntimeError(
+                "client_mode='process' requires the 'fork' multiprocessing start "
+                "method, which this platform does not provide"
+            ) from exc
+    return _fork_context
+
+
+_noise_filter_installed = False
+
+
+def _install_after_fork_noise_filter() -> None:
+    """Silence a harmless CPython 3.11.7 artifact in forked clients.
+
+    Forking a thread-heavy parent leaves a stale C-level exception in the
+    child, so the first statement of ``threading._after_fork`` reports
+    ``SystemError: ... returned a result with an exception set`` through
+    ``sys.unraisablehook`` (the lock is created and the child runs
+    correctly).  The hook is inherited through fork, so installing the
+    filter in the parent suppresses exactly that report in every client
+    process while delegating all other unraisables unchanged.
+    """
+    global _noise_filter_installed
+    if _noise_filter_installed:
+        return
+    _noise_filter_installed = True
+    import sys
+    import threading
+
+    previous = sys.unraisablehook
+
+    def hook(unraisable, /):
+        if (unraisable.exc_type is SystemError
+                and getattr(unraisable.object, "__name__", "") == "_after_fork"
+                and getattr(unraisable.object, "__module__", "") == threading.__name__):
+            return
+        previous(unraisable)
+
+    sys.unraisablehook = hook
+
+
+def _client_process_main(client: SimulationClient, solver_params: object,
+                         conn) -> None:
+    """Entry point of a forked client process: run, report the outcome."""
+    status, steps = "error", 0
+    try:
+        result = client.run(solver_params=solver_params)
+        status, steps = "ok", result.steps_sent
+    except SimulationFailure:
+        status = "failed"
+    except BaseException:  # noqa: BLE001 - report then exit, parent decides
+        logger.exception("client %d process crashed", client.client_id)
+    try:
+        conn.send((status, steps))
+        conn.close()
+    except OSError:  # pragma: no cover - parent already gone
+        pass
 
 
 @dataclass
@@ -62,18 +143,30 @@ class LauncherConfig:
         reproducing the scheduling gap observed on the real machine.
     max_restarts:
         How many times a failing client is restarted before giving up.
+    client_mode:
+        ``"thread"`` runs clients on the pool threads; ``"process"`` forks one
+        OS process per client attempt (required for real transport isolation,
+        selected automatically by studies using the ``"mp"`` transport).
+    process_join_timeout:
+        In process mode, how long to wait for a client process before killing
+        it and treating it as failed (``None`` waits forever).  This is the
+        launcher-side guard the paper's server uses for unresponsive clients.
     """
 
     series_sizes: Optional[Sequence[int]] = None
     max_concurrent_clients: int = 8
     inter_series_delay: float = 0.0
     max_restarts: int = 2
+    client_mode: str = "thread"
+    process_join_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent_clients <= 0:
             raise ValueError("max_concurrent_clients must be positive")
         if self.max_restarts < 0:
             raise ValueError("max_restarts must be non-negative")
+        if self.client_mode not in ("thread", "process"):
+            raise ValueError("client_mode must be 'thread' or 'process'")
 
 
 @dataclass
@@ -127,6 +220,8 @@ class Launcher:
     # ------------------------------------------------------------------- run
     def _run_client(self, spec: ClientSpec) -> int:
         """Run one client with restart-on-failure; returns steps sent."""
+        if self.config.client_mode == "process":
+            return self._run_client_in_process(spec)
         client = self.client_factory(spec)
         if spec.fail_at_step is not None:
             client.fail_at_step = spec.fail_at_step
@@ -144,6 +239,58 @@ class Launcher:
                 if attempts > self.config.max_restarts:
                     raise
                 client.prepare_restart()
+
+    def _run_client_in_process(self, spec: ClientSpec) -> int:
+        """Fork one OS process per attempt; restart on failure or death.
+
+        The parent keeps its own copy of the client object: a restart
+        increments ``restart_count`` and clears the injected fault, but the
+        child's in-memory checkpoint dies with the process, so the restarted
+        client resends everything and relies on the server's message log for
+        deduplication — the non-checkpointed recovery path of the paper.
+        """
+        context = _fork_mp()
+        _install_after_fork_noise_filter()
+        client = self.client_factory(spec)
+        if spec.fail_at_step is not None:
+            client.fail_at_step = spec.fail_at_step
+        attempts = 0
+        while True:
+            recv_conn, send_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_client_process_main,
+                args=(client, spec.solver_params, send_conn),
+                name=f"client-{spec.client_id}",
+                daemon=True,
+            )
+            process.start()
+            send_conn.close()
+            process.join(self.config.process_join_timeout)
+            if process.is_alive():
+                logger.warning("client %d unresponsive, killing process", spec.client_id)
+                process.kill()
+                process.join()
+            status, steps = "killed", 0
+            if recv_conn.poll(0):
+                status, steps = recv_conn.recv()
+            recv_conn.close()
+            if status == "ok":
+                return steps
+            if status == "error":
+                raise SimulationFailure(
+                    f"client {spec.client_id} process crashed (exit code {process.exitcode})"
+                )
+            attempts += 1
+            self.report.restarts += 1
+            logger.warning(
+                "client %d process %s (exit code %s), restart %d",
+                spec.client_id, status, process.exitcode, attempts,
+            )
+            if attempts > self.config.max_restarts:
+                raise SimulationFailure(
+                    f"client {spec.client_id} exhausted its {self.config.max_restarts} restarts"
+                )
+            client.prepare_restart()
 
     def run(self) -> LauncherReport:
         """Execute every series and return the report (blocking)."""

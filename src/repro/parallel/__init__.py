@@ -9,8 +9,11 @@ network) this package provides:
 * :class:`SPMDExecutor` — runs one Python callable per rank in a thread pool,
   exactly like ``mpiexec -n`` runs one process per rank.
 * block domain partitioning helpers used by the parallel heat solver.
-* :class:`MessageRouter` / :class:`Connection` — the ZeroMQ substitute carrying
-  time steps from clients to the server's data-aggregator threads.
+* the :class:`Transport` layer — the ZeroMQ substitute carrying time steps
+  from clients to the server's data-aggregator threads, with an in-process
+  backend (:class:`MessageRouter`), a multi-process backend streaming packed
+  message batches (:class:`MultiprocessTransport`), and the packed batch wire
+  format (:func:`pack_many` / :func:`unpack_many`).
 """
 
 from repro.parallel.collectives import ring_allreduce, tree_broadcast
@@ -21,7 +24,11 @@ from repro.parallel.messages import (
     Heartbeat,
     Message,
     TimeStepMessage,
+    WireFormatError,
+    pack_many,
+    unpack_many,
 )
+from repro.parallel.mp_transport import MultiprocessTransport
 from repro.parallel.partition import (
     BlockPartition1D,
     BlockPartition2D,
@@ -29,7 +36,14 @@ from repro.parallel.partition import (
     split_grid_2d,
 )
 from repro.parallel.spmd import SPMDExecutor, SPMDFailure
-from repro.parallel.transport import Connection, MessageRouter, RouterClosed
+from repro.parallel.transport import (
+    Connection,
+    MessageRouter,
+    RouterClosed,
+    Transport,
+    TransportStats,
+    make_transport,
+)
 
 __all__ = [
     "ThreadCommunicator",
@@ -48,6 +62,13 @@ __all__ = [
     "Heartbeat",
     "TimeStepMessage",
     "MessageRouter",
+    "MultiprocessTransport",
     "Connection",
     "RouterClosed",
+    "Transport",
+    "TransportStats",
+    "make_transport",
+    "pack_many",
+    "unpack_many",
+    "WireFormatError",
 ]

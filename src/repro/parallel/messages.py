@@ -1,19 +1,37 @@
 """Message types exchanged between clients and the training server.
 
 The real framework serialises these over ZeroMQ; here they are plain dataclass
-payloads carried by :class:`repro.parallel.transport.MessageRouter`.  The
+payloads carried by a :class:`repro.parallel.transport.Transport` backend.  The
 wire-format concerns the paper cares about are preserved: each time-step
 message carries the client (simulation) id, the time-step index, the input
 parameters and the float32 field, so the server can deduplicate after a client
 restart and build training samples without any additional lookup.
+
+The module also defines the packed batch wire format used by the
+multi-process transport backend (:func:`pack_many` / :func:`unpack_many`).
+One batch serialises to **one** contiguous buffer::
+
+    +--------------+------------------+-----+------------------+------+
+    | batch header | message header 0 | ... | f64 params block | f32  |
+    | (32 bytes)   | (per-type size)  |     | (all messages)   | block|
+    +--------------+------------------+-----+------------------+------+
+
+instead of one pickle per message: the per-message headers carry only scalars
+and lengths, while every parameter tuple and every field payload is
+concatenated into two contiguous numeric blocks at the end of the buffer.
+``unpack_many`` reads both blocks with a single zero-copy ``np.frombuffer``
+each and hands out array *views* into the batch buffer.
 """
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.utils.exceptions import ReproError
 
 Array = np.ndarray
 
@@ -73,6 +91,20 @@ class TimeStepMessage(Message):
     def nbytes(self) -> int:
         return int(self.payload.nbytes) + 8 * len(self.parameters) + 32
 
+    def __eq__(self, other: object) -> bool:
+        """Field-wise equality with exact (dtype + bytes) payload comparison."""
+        if not isinstance(other, TimeStepMessage):
+            return NotImplemented
+        return (
+            self.client_id == other.client_id
+            and self.time_step == other.time_step
+            and self.time_value == other.time_value
+            and self.parameters == other.parameters
+            and self.sequence_number == other.sequence_number
+            and self.payload.dtype == other.payload.dtype
+            and np.array_equal(self.payload, other.payload)
+        )
+
     def sample_input(self) -> Array:
         """Training input vector ``(X, t)`` as float32."""
         return np.asarray([*self.parameters, self.time_value], dtype=np.float32)
@@ -110,3 +142,205 @@ class ServerCommand:
     action: str
     client_id: Optional[int] = None
     reason: str = ""
+
+
+# --------------------------------------------------------------------------
+# Packed batch wire format.
+# --------------------------------------------------------------------------
+
+class WireFormatError(ReproError):
+    """Raised when a buffer does not parse as a packed message batch."""
+
+
+WIRE_MAGIC = b"RPRO"
+WIRE_VERSION = 1
+
+#: magic, version, flags, message count, header-region bytes (incl. padding),
+#: total f64 parameters, total f32 payload elements.
+_BATCH_HEADER = struct.Struct("<4sHHIIQQ")
+
+_T_HELLO = 0
+_T_STEP = 1
+_T_FINISHED = 2
+_T_HEARTBEAT = 3
+
+#: type, client_id, n_params, num_time_steps, restart_count, ndim
+#: (followed by ``ndim`` little-endian int64 shape extents).
+_HELLO_HEADER = struct.Struct("<BqIqqB")
+_SHAPE_DIM = struct.Struct("<q")
+#: type, client_id, time_step, time_value, sequence_number, n_params, payload_len
+_STEP_HEADER = struct.Struct("<BqqdqIQ")
+#: type, client_id, total_sent
+_FINISHED_HEADER = struct.Struct("<Bqq")
+#: type, client_id, timestamp, progress
+_HEARTBEAT_HEADER = struct.Struct("<Bqdd")
+
+
+def pack_many(messages: Sequence[Message]) -> bytes:
+    """Serialise a batch of messages into one contiguous buffer.
+
+    All parameter tuples are concatenated into a single float64 block and all
+    time-step payloads into a single float32 block, so a batch costs one
+    buffer allocation regardless of its length.  Payloads are converted to
+    flat float32 (the client-side preprocessing contract) if they are not
+    already.
+    """
+    headers: List[bytes] = []
+    params_flat: List[float] = []
+    payload_parts: List[Array] = []
+    total_payload = 0
+
+    step_pack = _STEP_HEADER.pack
+    for message in messages:
+        kind = type(message)
+        if kind is TimeStepMessage:
+            payload = message.payload
+            if payload.dtype != np.float32 or payload.ndim != 1 or not payload.flags.c_contiguous:
+                payload = np.ascontiguousarray(payload, dtype=np.float32).ravel()
+            headers.append(
+                step_pack(
+                    _T_STEP,
+                    message.client_id,
+                    message.time_step,
+                    message.time_value,
+                    message.sequence_number,
+                    len(message.parameters),
+                    payload.size,
+                )
+            )
+            params_flat.extend(message.parameters)
+            payload_parts.append(payload)
+            total_payload += payload.size
+        elif kind is ClientHello:
+            headers.append(
+                _HELLO_HEADER.pack(
+                    _T_HELLO,
+                    message.client_id,
+                    len(message.parameters),
+                    message.num_time_steps,
+                    message.restart_count,
+                    len(message.field_shape),
+                )
+                + b"".join(_SHAPE_DIM.pack(dim) for dim in message.field_shape)
+            )
+            params_flat.extend(message.parameters)
+        elif kind is ClientFinished:
+            headers.append(_FINISHED_HEADER.pack(_T_FINISHED, message.client_id,
+                                                 message.total_sent))
+        elif kind is Heartbeat:
+            headers.append(_HEARTBEAT_HEADER.pack(_T_HEARTBEAT, message.client_id,
+                                                  message.timestamp, message.progress))
+        else:
+            raise WireFormatError(f"cannot pack message of type {kind.__name__}")
+
+    header_nbytes = sum(len(h) for h in headers)
+    padding = (-header_nbytes) % 8  # align the numeric blocks for frombuffer
+    if padding:
+        headers.append(b"\x00" * padding)
+    batch_header = _BATCH_HEADER.pack(
+        WIRE_MAGIC,
+        WIRE_VERSION,
+        0,
+        len(messages),
+        header_nbytes + padding,
+        len(params_flat),
+        total_payload,
+    )
+    params_block = np.asarray(params_flat, dtype=np.float64).tobytes()
+    if len(payload_parts) == 1:
+        payload_block = payload_parts[0].tobytes()
+    elif payload_parts:
+        payload_block = np.concatenate(payload_parts).tobytes()
+    else:
+        payload_block = b""
+    return b"".join([batch_header, *headers, params_block, payload_block])
+
+
+def unpack_many(buffer: bytes) -> List[Message]:
+    """Deserialise a buffer produced by :func:`pack_many`.
+
+    The two numeric blocks are read with one zero-copy ``np.frombuffer``
+    each; every ``TimeStepMessage.payload`` is a (read-only) float32 view
+    into the batch buffer, so unpacking a batch performs no per-message
+    payload copies.
+    """
+    if len(buffer) < _BATCH_HEADER.size:
+        raise WireFormatError(f"buffer too short for batch header ({len(buffer)} bytes)")
+    magic, version, _flags, count, header_nbytes, total_params, total_payload = (
+        _BATCH_HEADER.unpack_from(buffer, 0)
+    )
+    if magic != WIRE_MAGIC:
+        raise WireFormatError(f"bad magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {version}")
+    params_offset = _BATCH_HEADER.size + header_nbytes
+    payload_offset = params_offset + 8 * total_params
+    expected = payload_offset + 4 * total_payload
+    if len(buffer) < expected:
+        raise WireFormatError(
+            f"truncated batch: {len(buffer)} bytes, header promises {expected}"
+        )
+    params_block = np.frombuffer(buffer, dtype=np.float64, count=total_params,
+                                 offset=params_offset)
+    payload_block = np.frombuffer(buffer, dtype=np.float32, count=total_payload,
+                                  offset=payload_offset)
+
+    messages: List[Message] = []
+    offset = _BATCH_HEADER.size
+    params_cursor = 0
+    payload_cursor = 0
+    step_unpack = _STEP_HEADER.unpack_from
+    step_size = _STEP_HEADER.size
+    for _ in range(count):
+        kind = buffer[offset]
+        if kind == _T_STEP:
+            (_, client_id, time_step, time_value, sequence_number,
+             n_params, payload_len) = step_unpack(buffer, offset)
+            offset += step_size
+            parameters = tuple(params_block[params_cursor:params_cursor + n_params].tolist())
+            params_cursor += n_params
+            payload = payload_block[payload_cursor:payload_cursor + payload_len]
+            payload_cursor += payload_len
+            messages.append(
+                TimeStepMessage(
+                    client_id=client_id,
+                    time_step=time_step,
+                    time_value=time_value,
+                    parameters=parameters,
+                    payload=payload,
+                    sequence_number=sequence_number,
+                )
+            )
+        elif kind == _T_HELLO:
+            (_, client_id, n_params, num_time_steps, restart_count, ndim) = (
+                _HELLO_HEADER.unpack_from(buffer, offset)
+            )
+            offset += _HELLO_HEADER.size
+            shape = tuple(
+                _SHAPE_DIM.unpack_from(buffer, offset + index * _SHAPE_DIM.size)[0]
+                for index in range(ndim)
+            )
+            offset += ndim * _SHAPE_DIM.size
+            parameters = tuple(params_block[params_cursor:params_cursor + n_params].tolist())
+            params_cursor += n_params
+            messages.append(
+                ClientHello(
+                    client_id=client_id,
+                    parameters=parameters,
+                    num_time_steps=num_time_steps,
+                    field_shape=shape,
+                    restart_count=restart_count,
+                )
+            )
+        elif kind == _T_FINISHED:
+            _, client_id, total_sent = _FINISHED_HEADER.unpack_from(buffer, offset)
+            offset += _FINISHED_HEADER.size
+            messages.append(ClientFinished(client_id=client_id, total_sent=total_sent))
+        elif kind == _T_HEARTBEAT:
+            _, client_id, timestamp, progress = _HEARTBEAT_HEADER.unpack_from(buffer, offset)
+            offset += _HEARTBEAT_HEADER.size
+            messages.append(Heartbeat(client_id=client_id, timestamp=timestamp,
+                                      progress=progress))
+        else:
+            raise WireFormatError(f"unknown message type code {kind} at offset {offset}")
+    return messages

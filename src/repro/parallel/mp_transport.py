@@ -1,0 +1,207 @@
+"""Multi-process transport backend carrying packed message batches.
+
+Where :class:`repro.parallel.transport.MessageRouter` hands message objects
+between threads by reference, this backend crosses real OS-process
+boundaries: clients forked by the launcher serialise their messages with
+:func:`repro.parallel.messages.pack_many` and put **one buffer per batch**
+on a bounded ``multiprocessing.Queue`` per server rank; the server-side
+aggregator drains buffers and deserialises whole batches in
+:meth:`MultiprocessTransport.poll_many`.
+
+Statistics live in shared memory (``multiprocessing.Value``/``Array``) so
+pushes performed inside client processes are visible to the server process
+that reports them.  The closed flag is a ``multiprocessing.Event`` for the
+same reason.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.parallel.messages import Message, WireFormatError, pack_many, unpack_many
+from repro.parallel.transport import RouterClosed, Transport, TransportStats
+from repro.utils.logging import get_logger
+
+logger = get_logger("parallel.mp_transport")
+
+
+class _SharedStats:
+    """Cross-process traffic counters backing :class:`TransportStats` snapshots."""
+
+    def __init__(self, num_server_ranks: int) -> None:
+        self._messages = mp.Value("q", 0)
+        self._bytes = mp.Value("q", 0)
+        self._dropped = mp.Value("q", 0)
+        self._per_rank = mp.Array("q", num_server_ranks)
+
+    def record_batch(self, rank: int, count: int, nbytes: int) -> None:
+        with self._messages.get_lock():
+            self._messages.value += count
+        with self._bytes.get_lock():
+            self._bytes.value += nbytes
+        with self._per_rank.get_lock():
+            self._per_rank[rank] += count
+
+    def record_dropped(self, count: int) -> None:
+        with self._dropped.get_lock():
+            self._dropped.value += count
+
+    def snapshot(self) -> TransportStats:
+        per_rank = {rank: int(n) for rank, n in enumerate(self._per_rank) if n}
+        return TransportStats(
+            messages_routed=int(self._messages.value),
+            bytes_routed=int(self._bytes.value),
+            per_rank_messages=per_rank,
+            dropped_messages=int(self._dropped.value),
+        )
+
+
+class MultiprocessTransport(Transport):
+    """Transport whose rank channels are ``multiprocessing`` queues.
+
+    Parameters
+    ----------
+    num_server_ranks:
+        Number of server ranks (aggregator threads in the server process).
+    max_queue_size:
+        Bound of each rank queue **in batches**; with client-side batching a
+        slot holds up to ``Connection.batch_size`` messages.  Pushes raise
+        ``queue.Full`` after ``timeout`` like the in-process backend.
+
+    Notes
+    -----
+    Only the server process may poll.  Deserialised messages that exceed a
+    ``poll_many`` budget are held in a per-rank leftover deque (each rank has
+    exactly one aggregator thread, so the deque needs no lock).
+    """
+
+    def __init__(self, num_server_ranks: int, max_queue_size: int = 10_000) -> None:
+        if num_server_ranks <= 0:
+            raise ValueError("num_server_ranks must be positive")
+        self.num_server_ranks = int(num_server_ranks)
+        self.max_queue_size = int(max_queue_size)
+        self._queues = [mp.Queue(maxsize=max_queue_size) for _ in range(num_server_ranks)]
+        self._leftover: List[Deque[Message]] = [deque() for _ in range(num_server_ranks)]
+        self._closed = mp.Event()
+        self._shared = _SharedStats(num_server_ranks)
+
+    # ----------------------------------------------------------------- client
+    def push(self, rank: int, message: Message, timeout: float | None = None) -> None:
+        self.push_many(rank, [message], timeout=timeout)
+
+    def push_many(self, rank: int, messages: List[Message],
+                  timeout: float | None = None) -> None:
+        """Serialise ``messages`` into one packed buffer and enqueue it."""
+        self._check_rank(rank)
+        if not messages:
+            return
+        if self._closed.is_set():
+            self._shared.record_dropped(len(messages))
+            raise RouterClosed("transport is closed")
+        buffer = pack_many(messages)
+        try:
+            self._queues[rank].put(buffer, timeout=timeout)
+        except queue.Full:
+            self._shared.record_dropped(len(messages))
+            raise
+        self._shared.record_batch(rank, len(messages), len(buffer))
+
+    def _record_dropped(self, count: int) -> None:
+        if count:
+            self._shared.record_dropped(count)
+
+    # ----------------------------------------------------------------- server
+    def poll_many(self, rank: int, max_messages: int = 64,
+                  timeout: float | None = 0.05) -> List[Message]:
+        if max_messages <= 0:
+            raise ValueError("max_messages must be positive")
+        self._check_rank(rank)
+        leftover = self._leftover[rank]
+        messages: List[Message] = []
+        while leftover and len(messages) < max_messages:
+            messages.append(leftover.popleft())
+        if not messages:
+            # Block up to ``timeout`` for the first batch only.
+            batch = self._get_batch(rank, timeout)
+            if batch is None:
+                return []
+            self._absorb(rank, messages, batch, max_messages)
+        # Drain whatever else is already queued without blocking.
+        while len(messages) < max_messages:
+            batch = self._get_batch(rank, None)
+            if batch is None:
+                break
+            self._absorb(rank, messages, batch, max_messages)
+        return messages
+
+    def _get_batch(self, rank: int, timeout: float | None) -> Optional[List[Message]]:
+        """Pop and deserialise one packed batch; ``None`` when nothing queued.
+
+        A client process killed mid-put can tear the queue's byte stream
+        (multiprocessing documents the queue as corruptible then); a buffer
+        that fails to transfer or parse is counted as one dropped batch and
+        skipped instead of killing the aggregator thread that polls here.
+        """
+        try:
+            if timeout is None:
+                buffer = self._queues[rank].get_nowait()
+            else:
+                buffer = self._queues[rank].get(timeout=timeout)
+        except queue.Empty:
+            return None
+        except Exception:  # noqa: BLE001 - torn pipe stream fails to unpickle
+            logger.warning("rank %d: discarding corrupt transport buffer", rank,
+                           exc_info=True)
+            self._shared.record_dropped(1)
+            return []
+        try:
+            return unpack_many(buffer)
+        except WireFormatError:
+            logger.warning("rank %d: discarding unparsable transport batch", rank,
+                           exc_info=True)
+            self._shared.record_dropped(1)
+            return []
+
+    def _absorb(self, rank: int, out: List[Message], batch: List[Message],
+                max_messages: int) -> None:
+        room = max_messages - len(out)
+        out.extend(batch[:room])
+        if len(batch) > room:
+            self._leftover[rank].extend(batch[room:])
+
+    def pending(self, rank: int) -> int:
+        """Deserialised leftovers plus queued batches (batches count once)."""
+        self._check_rank(rank)
+        return len(self._leftover[rank]) + self._queues[rank].qsize()
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self._closed.set()
+
+    def shutdown(self) -> None:
+        """Close, drain, and detach the queues' feeder machinery.
+
+        Without the drain + ``cancel_join_thread`` a queue holding undelivered
+        buffers would block interpreter exit on its feeder thread.
+        """
+        self.close()
+        for rank, q in enumerate(self._queues):
+            try:
+                while True:
+                    q.get_nowait()
+            except (queue.Empty, OSError, ValueError):
+                pass
+            q.cancel_join_thread()
+            q.close()
+            self._leftover[rank].clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    @property
+    def stats(self) -> TransportStats:
+        return self._shared.snapshot()

@@ -1,10 +1,20 @@
-"""In-process transport layer connecting clients to server ranks.
+"""Pluggable transport layer connecting clients to server ranks.
 
-This is the ZeroMQ substitute: a :class:`MessageRouter` owns one bounded queue
+This is the ZeroMQ substitute.  A :class:`Transport` owns one bounded channel
 per server rank; clients obtain a :class:`Connection` and push messages to a
 chosen server rank, while each server data-aggregator thread polls its own
-queue.  The router also keeps aggregate statistics (messages/bytes routed)
-used by the throughput experiments.
+channel.  Two backends implement the interface:
+
+* :class:`MessageRouter` — the in-process backend: one ``queue.Queue`` per
+  rank, messages handed over by reference (no serialisation).
+* :class:`repro.parallel.mp_transport.MultiprocessTransport` — real OS-process
+  isolation: one ``multiprocessing.Queue`` per rank carrying *packed batches*
+  (:func:`repro.parallel.messages.pack_many`), with shared-memory statistics
+  counters visible from every client process.
+
+Use :func:`make_transport` to build a backend from a study-config string.
+Both backends keep aggregate statistics (messages/bytes routed, drops) used
+by the throughput experiments.
 """
 
 from __future__ import annotations
@@ -19,12 +29,17 @@ from repro.utils.exceptions import ReproError
 
 
 class RouterClosed(ReproError):
-    """Raised when pushing to or polling from a closed router."""
+    """Raised when pushing to or polling from a closed transport."""
 
 
 @dataclass
 class TransportStats:
-    """Counters describing the traffic that went through the router."""
+    """Counters describing the traffic that went through a transport.
+
+    ``dropped_messages`` counts every message that failed to enter a rank
+    channel: pushes that timed out on a full queue and pushes rejected
+    because the transport was already closed.
+    """
 
     messages_routed: int = 0
     bytes_routed: int = 0
@@ -37,8 +52,100 @@ class TransportStats:
         self.per_rank_messages[rank] = self.per_rank_messages.get(rank, 0) + 1
 
 
-class MessageRouter:
-    """Routes client messages to per-server-rank queues.
+class Transport:
+    """Interface of a client→server message channel set.
+
+    A transport exposes ``num_server_ranks`` bounded channels.  Clients call
+    :meth:`connect` and push through the returned :class:`Connection`; the
+    per-rank server aggregators drain with :meth:`poll_many`.  Push calls
+    raise ``queue.Full`` when the rank channel stays full past the timeout
+    (ZMQ's high-water-mark back-pressure) and :class:`RouterClosed` after
+    :meth:`close`; both paths count the message in ``stats.dropped_messages``.
+    """
+
+    num_server_ranks: int
+
+    # ----------------------------------------------------------------- client
+    def connect(self, client_id: int, batch_size: int = 1) -> "Connection":
+        """Create a connection handle for a client (all server ranks reachable)."""
+        if self.closed:
+            raise RouterClosed("cannot connect: transport is closed")
+        return Connection(transport=self, client_id=int(client_id),
+                          batch_size=int(batch_size))
+
+    def push(self, rank: int, message: Message, timeout: float | None = None) -> None:
+        """Push one message to ``rank`` (blocking while the channel is full)."""
+        raise NotImplementedError
+
+    def push_many(self, rank: int, messages: List[Message],
+                  timeout: float | None = None) -> None:
+        """Push a batch to ``rank``; backends may serialise it as one buffer.
+
+        A failed push drops the whole remaining batch (the failing message is
+        counted by :meth:`push` itself) so both backends account a rejected
+        batch identically in ``stats.dropped_messages``.
+        """
+        for index, message in enumerate(messages):
+            try:
+                self.push(rank, message, timeout=timeout)
+            except (queue.Full, RouterClosed):
+                self._record_dropped(len(messages) - index - 1)
+                raise
+
+    def _record_dropped(self, count: int) -> None:
+        """Add ``count`` messages to the drop counter (backend-specific store)."""
+        raise NotImplementedError
+
+    # ----------------------------------------------------------------- server
+    def poll(self, rank: int, timeout: float | None = 0.05) -> Optional[Message]:
+        """Pop the next message for server rank ``rank`` or ``None`` on timeout."""
+        messages = self.poll_many(rank, max_messages=1, timeout=timeout)
+        return messages[0] if messages else None
+
+    def poll_many(self, rank: int, max_messages: int = 64,
+                  timeout: float | None = 0.05) -> List[Message]:
+        """Pop up to ``max_messages`` messages for ``rank`` in one call.
+
+        Blocks up to ``timeout`` for the first message only, then drains
+        whatever else is already queued without blocking — the chunked
+        consumption pattern of the data aggregator.  Returns an empty list on
+        timeout.
+        """
+        raise NotImplementedError
+
+    def pending(self, rank: int) -> int:
+        """Number of messages currently queued for server rank ``rank``."""
+        raise NotImplementedError
+
+    def total_pending(self) -> int:
+        """Messages queued across all ranks."""
+        return sum(self.pending(rank) for rank in range(self.num_server_ranks))
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Close the transport; subsequent pushes raise :class:`RouterClosed`."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Close and release backend resources (queues, feeder threads)."""
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def stats(self) -> TransportStats:
+        """Snapshot of the traffic counters."""
+        raise NotImplementedError
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.num_server_ranks:
+            raise ValueError(f"server rank {rank} out of range")
+
+
+class MessageRouter(Transport):
+    """In-process transport: routes client messages to per-server-rank queues.
 
     Parameters
     ----------
@@ -61,30 +168,32 @@ class MessageRouter:
         ]
         self._closed = threading.Event()
         self._stats_lock = threading.Lock()
-        self.stats = TransportStats()
+        self._stats = TransportStats()
 
     # ----------------------------------------------------------------- client
-    def connect(self, client_id: int) -> "Connection":
-        """Create a connection handle for a client (all server ranks reachable)."""
-        if self._closed.is_set():
-            raise RouterClosed("cannot connect: router is closed")
-        return Connection(router=self, client_id=int(client_id))
-
     def push(self, rank: int, message: Message, timeout: float | None = None) -> None:
         """Push ``message`` to server rank ``rank`` (blocking when the queue is full)."""
+        self._check_rank(rank)
         if self._closed.is_set():
+            self._record_dropped(1)
             raise RouterClosed("router is closed")
-        if not 0 <= rank < self.num_server_ranks:
-            raise ValueError(f"server rank {rank} out of range")
-        self._queues[rank].put(message, timeout=timeout)
+        try:
+            self._queues[rank].put(message, timeout=timeout)
+        except queue.Full:
+            self._record_dropped(1)
+            raise
         with self._stats_lock:
-            self.stats.record(rank, message.nbytes())
+            self._stats.record(rank, message.nbytes())
+
+    def _record_dropped(self, count: int) -> None:
+        if count:
+            with self._stats_lock:
+                self._stats.dropped_messages += count
 
     # ----------------------------------------------------------------- server
     def poll(self, rank: int, timeout: float | None = 0.05) -> Optional[Message]:
         """Pop the next message for server rank ``rank`` or ``None`` on timeout."""
-        if not 0 <= rank < self.num_server_ranks:
-            raise ValueError(f"server rank {rank} out of range")
+        self._check_rank(rank)
         try:
             if timeout is None:
                 return self._queues[rank].get_nowait()
@@ -95,13 +204,6 @@ class MessageRouter:
     def poll_many(
         self, rank: int, max_messages: int = 64, timeout: float | None = 0.05
     ) -> List[Message]:
-        """Pop up to ``max_messages`` messages for ``rank`` in one call.
-
-        Blocks up to ``timeout`` for the first message only, then drains
-        whatever else is already queued without blocking — the chunked
-        consumption pattern of the data aggregator.  Returns an empty list on
-        timeout.
-        """
         if max_messages <= 0:
             raise ValueError("max_messages must be positive")
         first = self.poll(rank, timeout=timeout)
@@ -117,21 +219,19 @@ class MessageRouter:
         return messages
 
     def pending(self, rank: int) -> int:
-        """Number of messages currently queued for server rank ``rank``."""
         return self._queues[rank].qsize()
-
-    def total_pending(self) -> int:
-        """Messages queued across all ranks."""
-        return sum(q.qsize() for q in self._queues)
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:
-        """Close the router; subsequent pushes raise :class:`RouterClosed`."""
         self._closed.set()
 
     @property
     def closed(self) -> bool:
         return self._closed.is_set()
+
+    @property
+    def stats(self) -> TransportStats:
+        return self._stats
 
 
 @dataclass
@@ -141,31 +241,91 @@ class Connection:
     As in the paper, each client connects to *all* server ranks and sends its
     time steps round-robin, with the starting rank offset by the client id so
     that all clients do not hit the same rank with the same time step.
+
+    With ``batch_size > 1`` the connection accumulates per-rank batches and
+    pushes each rank's batch with a single :meth:`Transport.push_many` call
+    once full — on the multi-process backend that serialises the whole batch
+    into one packed buffer.  :meth:`broadcast` (hello/finished markers)
+    flushes every pending batch first so control messages never overtake the
+    data sent before them.
     """
 
-    router: MessageRouter
+    transport: Transport
     client_id: int
+    batch_size: int = 1
     _next_rank: int = field(init=False)
+    _pending: Dict[int, List[Message]] = field(init=False, default_factory=dict)
     sent_messages: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
-        self._next_rank = self.client_id % self.router.num_server_ranks
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self._next_rank = self.client_id % self.transport.num_server_ranks
+
+    @property
+    def router(self) -> Transport:
+        """Backwards-compatible alias for :attr:`transport`."""
+        return self.transport
 
     def send_round_robin(self, message: Message, timeout: float | None = None) -> int:
         """Send to the next rank in round-robin order; returns the rank used."""
         rank = self._next_rank
-        self.router.push(rank, message, timeout=timeout)
-        self._next_rank = (rank + 1) % self.router.num_server_ranks
-        self.sent_messages += 1
+        self._next_rank = (rank + 1) % self.transport.num_server_ranks
+        if self.batch_size == 1:
+            self.transport.push(rank, message, timeout=timeout)
+            self.sent_messages += 1
+        else:
+            batch = self._pending.setdefault(rank, [])
+            batch.append(message)
+            if len(batch) >= self.batch_size:
+                self._flush_rank(rank, timeout=timeout)
         return rank
 
     def send_to(self, rank: int, message: Message, timeout: float | None = None) -> None:
         """Send to an explicit server rank (used for control messages)."""
-        self.router.push(rank, message, timeout=timeout)
+        self.transport.push(rank, message, timeout=timeout)
         self.sent_messages += 1
 
     def broadcast(self, message: Message, timeout: float | None = None) -> None:
         """Send the same message to every server rank (hello/finished markers)."""
-        for rank in range(self.router.num_server_ranks):
-            self.router.push(rank, message, timeout=timeout)
-        self.sent_messages += self.router.num_server_ranks
+        self.flush(timeout=timeout)
+        for rank in range(self.transport.num_server_ranks):
+            self.transport.push(rank, message, timeout=timeout)
+        self.sent_messages += self.transport.num_server_ranks
+
+    def flush(self, timeout: float | None = None) -> None:
+        """Push every pending per-rank batch."""
+        for rank in list(self._pending):
+            self._flush_rank(rank, timeout=timeout)
+
+    def _flush_rank(self, rank: int, timeout: float | None) -> None:
+        batch = self._pending.pop(rank, None)
+        if batch:
+            self.transport.push_many(rank, batch, timeout=timeout)
+            self.sent_messages += len(batch)
+
+    @property
+    def pending_messages(self) -> int:
+        """Messages buffered client-side, not yet pushed to the transport."""
+        return sum(len(batch) for batch in self._pending.values())
+
+    def pending(self) -> List[Message]:
+        """The buffered messages themselves (send order within each rank)."""
+        return [message for batch in self._pending.values() for message in batch]
+
+
+def make_transport(kind: str, num_server_ranks: int,
+                   max_queue_size: int = 10_000) -> Transport:
+    """Build a transport backend from a study-config string.
+
+    ``"inproc"`` is the thread-based :class:`MessageRouter`; ``"mp"`` is the
+    multi-process backend carrying packed batches over ``multiprocessing``
+    queues (clients may then run as real OS processes).
+    """
+    if kind == "inproc":
+        return MessageRouter(num_server_ranks, max_queue_size=max_queue_size)
+    if kind == "mp":
+        from repro.parallel.mp_transport import MultiprocessTransport
+
+        return MultiprocessTransport(num_server_ranks, max_queue_size=max_queue_size)
+    raise ValueError(f"unknown transport kind {kind!r} (expected 'inproc' or 'mp')")

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.buffers.base import SampleRecord, TrainingBuffer
 from repro.parallel.messages import ClientFinished, ClientHello, Heartbeat, Message, TimeStepMessage
-from repro.parallel.transport import MessageRouter
+from repro.parallel.transport import Transport
 from repro.server.fault import HeartbeatMonitor, MessageLog
 from repro.utils.exceptions import BufferClosedError
 from repro.utils.logging import get_logger
@@ -69,7 +69,7 @@ class DataAggregator:
     def __init__(
         self,
         rank: int,
-        router: MessageRouter,
+        router: Transport,
         buffer: TrainingBuffer,
         expected_clients: int,
         poll_timeout: float = 0.02,
@@ -198,9 +198,14 @@ class DataAggregator:
         if not self.message_log.register(message.client_id, message.time_step):
             self.stats.duplicates_discarded += 1
             return None
+        target = np.asarray(message.payload, dtype=np.float32)
+        if target.base is not None:
+            # Unpacked payloads are views into their whole packed transport
+            # batch; a buffer-resident record must not pin that batch alive.
+            target = target.copy()
         return SampleRecord(
             inputs=message.sample_input(),
-            target=np.asarray(message.payload, dtype=np.float32),
+            target=target,
             source_id=message.client_id,
             time_step=message.time_step,
         )

@@ -24,7 +24,7 @@ from repro.nn.optim import Adam, Optimizer
 from repro.nn.schedulers import LRScheduler, StepLR
 from repro.parallel.communicator import ThreadCommunicator
 from repro.parallel.spmd import SPMDExecutor
-from repro.parallel.transport import MessageRouter
+from repro.parallel.transport import Transport
 from repro.server.aggregator import DataAggregator
 from repro.server.checkpointing import ServerCheckpointer
 from repro.server.fault import HeartbeatMonitor, MessageLog
@@ -117,7 +117,7 @@ class TrainingServer:
         self,
         config: ServerConfig,
         model_factory: Callable[[], Module],
-        router: MessageRouter,
+        router: Transport,
         validation: Optional[ValidationSet] = None,
         loss_factory: Callable[[], Loss] = MSELoss,
         optimizer_factory: Optional[Callable[[Module], Optimizer]] = None,
