@@ -10,7 +10,6 @@ the paper's batch size of 10 on the two randomized policies (FIRO and
 Reservoir), and that bulk insertion via ``put_many`` beats per-sample ``put``.
 """
 
-import os
 import time
 
 import numpy as np
@@ -18,6 +17,7 @@ import pytest
 
 from repro.buffers import FIFOBuffer, FIROBuffer, ReservoirBuffer
 from repro.buffers.base import SampleRecord
+from repro.utils.constants import bench_min_speedup, record_bench_result
 
 BATCH_SIZE = 10
 NUM_BATCHES = 200
@@ -26,7 +26,7 @@ REPEATS = 7
 # Required batched-vs-per-sample speedup on FIRO/Reservoir.  The default (3x,
 # measured ~4x locally) is the acceptance bar; CI on shared runners sets
 # REPRO_BENCH_MIN_SPEEDUP lower because wall-clock ratios are noisy there.
-MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+MIN_SPEEDUP = bench_min_speedup()
 # The FIFO (no RNG) and put_many floors scale with the same noise margin.
 NOISE_SCALE = MIN_SPEEDUP / 3.0
 
@@ -75,6 +75,8 @@ def test_batched_extraction_at_least_3x_faster(kind):
         f"\n[{kind}] per-sample {per_sample / NUM_BATCHES * 1e6:.1f} us/batch, "
         f"batched {per_batch:.1f} us/batch, speedup {speedup:.2f}x"
     )
+    record_bench_result(f"buffer.batched_get_{kind}", speedup, floor=MIN_SPEEDUP,
+                        batch_size=BATCH_SIZE)
     assert speedup >= MIN_SPEEDUP, (
         f"batched get_batch only {speedup:.2f}x faster than per-sample on {kind}"
     )
@@ -112,4 +114,5 @@ def test_put_many_faster_than_per_sample_put(kind):
     bulk = time_put(bulk=True)
     speedup = per_sample / bulk
     print(f"\n[{kind}] put_many speedup {speedup:.2f}x")
+    record_bench_result(f"buffer.put_many_{kind}", speedup, floor=2.0 * NOISE_SCALE)
     assert speedup >= 2.0 * NOISE_SCALE

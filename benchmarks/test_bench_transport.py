@@ -10,40 +10,18 @@ paper's batch size of 10, and reports the end-to-end effect of client-side
 batching through a live :class:`MultiprocessTransport`.
 """
 
-import os
 import pickle
 import time
 
-import numpy as np
-import pytest
+from transport_fixture import BATCH_SIZE, BATCHES, NUM_BATCHES, REPEATS
 
-from repro.parallel.messages import TimeStepMessage, pack_many, unpack_many
+from repro.parallel.messages import pack_many, unpack_many
 from repro.parallel.mp_transport import MultiprocessTransport
+from repro.utils.constants import bench_min_speedup, record_bench_result
 
-BATCH_SIZE = 10
-NUM_BATCHES = 300
-FIELD_SIZE = 256  # scaled-down flattened field, same order as the tiny studies
-REPEATS = 7
 # Required packed-vs-per-message speedup (measured ~4x locally).  CI on shared
 # runners sets REPRO_BENCH_MIN_SPEEDUP lower because wall-clock is noisy there.
-MIN_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
-
-
-def make_batch(start_step: int):
-    return [
-        TimeStepMessage(
-            client_id=1,
-            time_step=start_step + index,
-            time_value=(start_step + index) * 0.01,
-            parameters=(100.0, 200.0, 300.0, 400.0, 500.0),
-            payload=np.arange(FIELD_SIZE, dtype=np.float32),
-            sequence_number=start_step + index,
-        )
-        for index in range(BATCH_SIZE)
-    ]
-
-
-BATCHES = [make_batch(batch * BATCH_SIZE) for batch in range(NUM_BATCHES)]
+MIN_SPEEDUP = bench_min_speedup()
 
 
 def time_per_message_pickle():
@@ -80,6 +58,8 @@ def test_packed_batch_serialisation_at_least_3x_per_message():
         f"\n[wire] per-message {per_message / messages * 1e6:.2f} us/msg, "
         f"packed {packed / messages * 1e6:.2f} us/msg, speedup {speedup:.2f}x"
     )
+    record_bench_result("wire.packed_vs_pickle", speedup, floor=MIN_SPEEDUP,
+                        batch_size=BATCH_SIZE)
     assert speedup >= MIN_SPEEDUP, (
         f"packed batch round trip only {speedup:.2f}x faster than per-message pickling"
     )
@@ -129,3 +109,7 @@ def test_mp_transport_batched_push_throughput():
         f"batched(x{BATCH_SIZE}) {batched:,.0f} msg/s "
         f"({batched / unbatched:.2f}x)"
     )
+    record_bench_result("mp.batched_vs_unbatched_push", batched / unbatched,
+                        batch_size=BATCH_SIZE,
+                        unbatched_msgs_per_s=round(unbatched),
+                        batched_msgs_per_s=round(batched))

@@ -1,0 +1,33 @@
+"""Shared message fixture of the transport benchmarks.
+
+Both the wire-format benchmark (`test_bench_transport.py`) and the shm ring
+benchmark (`test_bench_shm_ring.py`) must measure the *same* payloads or
+their cross-backend speedups stop being comparable; the batch shape lives
+here once.
+"""
+
+import numpy as np
+
+from repro.parallel.messages import TimeStepMessage
+
+BATCH_SIZE = 10
+NUM_BATCHES = 300
+FIELD_SIZE = 256  # scaled-down flattened field, same order as the tiny studies
+REPEATS = 7
+
+
+def make_batch(start_step: int, client_id: int = 0):
+    return [
+        TimeStepMessage(
+            client_id=client_id,
+            time_step=start_step + index,
+            time_value=(start_step + index) * 0.01,
+            parameters=(100.0, 200.0, 300.0, 400.0, 500.0),
+            payload=np.arange(FIELD_SIZE, dtype=np.float32),
+            sequence_number=start_step + index,
+        )
+        for index in range(BATCH_SIZE)
+    ]
+
+
+BATCHES = [make_batch(batch * BATCH_SIZE) for batch in range(NUM_BATCHES)]

@@ -26,7 +26,7 @@ from repro.nn import Adam, state_dict_equal
 from repro.parallel.transport import MessageRouter
 from repro.server.checkpointing import ServerCheckpointer
 from repro.server.server import ServerConfig, TrainingServer
-from repro.solvers.heat2d import HeatEquationConfig, HeatParameters
+from repro.solvers.heat2d import HeatEquationConfig
 
 
 def main() -> None:

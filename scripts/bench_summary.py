@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Render a benchmark report (see ``repro.utils.constants``) as a Markdown table.
+
+CI appends the output to ``$GITHUB_STEP_SUMMARY`` after the benchmark smoke
+steps so every PR shows its measured speedups next to the enforced floors:
+
+    python scripts/bench_summary.py bench_report.json >> "$GITHUB_STEP_SUMMARY"
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def render(report_path: Path) -> str:
+    report = json.loads(report_path.read_text())
+    lines = [
+        "## Benchmark speedups",
+        "",
+        "| benchmark | speedup | enforced floor | detail |",
+        "|---|---|---|---|",
+    ]
+    for entry in sorted(report.get("results", []), key=lambda e: e.get("name", "")):
+        unit = entry.get("unit", "x")
+        floor = entry.get("floor")
+        floor_cell = f"{floor:g}{unit}" if floor is not None else "—"
+        detail = entry.get("detail") or {}
+        detail_cell = ", ".join(f"{key}={value}" for key, value in detail.items()) or "—"
+        lines.append(
+            f"| `{entry['name']}` | {entry['speedup']:g}{unit} | {floor_cell} | {detail_cell} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv: list) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    report_path = Path(argv[1])
+    if not report_path.exists():
+        print(f"(no benchmark report at {report_path})")
+        return 0
+    print(render(report_path))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

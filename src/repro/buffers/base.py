@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 

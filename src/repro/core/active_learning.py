@@ -20,7 +20,7 @@ This module implements that extension in its simplest defensible form:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Sequence, Tuple
 
@@ -43,11 +43,21 @@ class OnlineStudyConfig:
 
     # Transport.  ``"inproc"`` hands messages between threads by reference;
     # ``"mp"`` runs each client as a forked OS process streaming packed
-    # message batches over multiprocessing queues.  ``transport_batch_size``
-    # is the client-side batching width (messages per packed buffer).
+    # message batches over multiprocessing queues; ``"shm"`` also forks one
+    # process per client but streams the packed batches through lock-free
+    # shared-memory SPSC ring buffers (one per client and server rank),
+    # keeping only rare control messages on the queues.
+    # ``transport_batch_size`` is the client-side batching width (messages
+    # per packed buffer).
     transport: str = "inproc"
     transport_batch_size: int = 1
     transport_queue_size: int = 100_000
+    #: Ring geometry of the ``"shm"`` backend: each (client, rank) ring holds
+    #: ``ring_slots`` packed batches of at most ``ring_slot_bytes`` bytes.
+    #: Oversized batches are split automatically; a single message that
+    #: cannot fit raises, naming this knob.
+    ring_slots: int = 16
+    ring_slot_bytes: int = 65_536
     #: With ``transport="mp"``, kill a client process that has not finished
     #: after this many seconds and restart it.  This caps a client's *total
     #: runtime*, not its liveness, so it is opt-in (``None`` waits forever);
@@ -72,10 +82,14 @@ class OnlineStudyConfig:
             raise ConfigurationError("buffer_threshold must be in [0, capacity]")
         if self.batch_size <= 0:
             raise ConfigurationError("batch_size must be positive")
-        if self.transport not in ("inproc", "mp"):
-            raise ConfigurationError("transport must be 'inproc' or 'mp'")
+        if self.transport not in ("inproc", "mp", "shm"):
+            raise ConfigurationError("transport must be 'inproc', 'mp' or 'shm'")
         if self.transport_batch_size <= 0:
             raise ConfigurationError("transport_batch_size must be positive")
+        if self.ring_slots <= 0:
+            raise ConfigurationError("ring_slots must be positive")
+        if self.ring_slot_bytes <= 0:
+            raise ConfigurationError("ring_slot_bytes must be positive")
         if self.client_process_timeout is not None and self.client_process_timeout <= 0:
             raise ConfigurationError("client_process_timeout must be positive or None")
 

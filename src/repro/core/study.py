@@ -100,7 +100,7 @@ class OnlineStudy:
             series_sizes=cfg.series_sizes,
             max_concurrent_clients=cfg.max_concurrent_clients,
             inter_series_delay=cfg.inter_series_delay,
-            client_mode="process" if cfg.transport == "mp" else "thread",
+            client_mode="process" if cfg.transport in ("mp", "shm") else "thread",
             process_join_timeout=cfg.client_process_timeout,
         )
         return Launcher(client_factory, specs, launcher_config)
@@ -110,7 +110,12 @@ class OnlineStudy:
         """Run the full online study (blocking) and return its result."""
         cfg = self.config
         router = make_transport(
-            cfg.transport, cfg.num_ranks, max_queue_size=cfg.transport_queue_size
+            cfg.transport,
+            cfg.num_ranks,
+            max_queue_size=cfg.transport_queue_size,
+            num_clients=cfg.num_simulations,
+            ring_slots=cfg.ring_slots,
+            ring_slot_bytes=cfg.ring_slot_bytes,
         )
         specs = self._build_specs()
         server = self._build_server(router)

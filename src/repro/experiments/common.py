@@ -9,8 +9,8 @@ with a given buffer policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 from repro.core.config import OfflineStudyConfig, OnlineStudyConfig, SurrogateArchitecture
 from repro.core.heat_usecase import HeatSurrogateCase, HeatSurrogateSpec
@@ -86,8 +86,15 @@ def online_config(
     max_batches: Optional[int] = None,
     transport: str = "inproc",
     transport_batch_size: int = 1,
+    ring_slots: Optional[int] = None,
+    ring_slot_bytes: Optional[int] = None,
 ) -> OnlineStudyConfig:
     """Online study configuration for one buffer policy and GPU count."""
+    ring_overrides = {}
+    if ring_slots is not None:
+        ring_overrides["ring_slots"] = ring_slots
+    if ring_slot_bytes is not None:
+        ring_overrides["ring_slot_bytes"] = ring_slot_bytes
     return OnlineStudyConfig(
         num_simulations=scale.num_simulations,
         series_sizes=list(scale.series_sizes) if use_series else None,
@@ -106,6 +113,7 @@ def online_config(
         seed=scale.seed,
         transport=transport,
         transport_batch_size=transport_batch_size,
+        **ring_overrides,
     )
 
 
@@ -120,12 +128,15 @@ def run_online_with_buffer(
     num_simulations: Optional[int] = None,
     transport: str = "inproc",
     transport_batch_size: int = 1,
+    ring_slots: Optional[int] = None,
+    ring_slot_bytes: Optional[int] = None,
 ) -> OnlineStudyResult:
     """Run one online study with the given buffer policy and rank count."""
     scale = scale or default_scale()
     case = case or build_case(scale)
     config = online_config(scale, buffer_kind, num_ranks, use_series, max_batches,
-                           transport=transport, transport_batch_size=transport_batch_size)
+                           transport=transport, transport_batch_size=transport_batch_size,
+                           ring_slots=ring_slots, ring_slot_bytes=ring_slot_bytes)
     if num_simulations is not None:
         config.num_simulations = num_simulations
         config.series_sizes = None

@@ -9,10 +9,9 @@ gradients after each batch, exactly like the online data-parallel server.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
-import numpy as np
 
 from repro.core.metrics import LossHistory, ThroughputMeter, TrainingMetrics, merge_worker_metrics
 from repro.nn.losses import Loss, MSELoss

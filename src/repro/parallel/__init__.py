@@ -12,8 +12,9 @@ network) this package provides:
 * the :class:`Transport` layer — the ZeroMQ substitute carrying time steps
   from clients to the server's data-aggregator threads, with an in-process
   backend (:class:`MessageRouter`), a multi-process backend streaming packed
-  message batches (:class:`MultiprocessTransport`), and the packed batch wire
-  format (:func:`pack_many` / :func:`unpack_many`).
+  message batches (:class:`MultiprocessTransport`), a shared-memory
+  ring-buffer backend for the hot rank channels (:class:`ShmRingTransport`),
+  and the packed batch wire format (:func:`pack_many` / :func:`unpack_many`).
 """
 
 from repro.parallel.collectives import ring_allreduce, tree_broadcast
@@ -29,6 +30,7 @@ from repro.parallel.messages import (
     unpack_many,
 )
 from repro.parallel.mp_transport import MultiprocessTransport
+from repro.parallel.shm_ring import ShmRing, ShmRingTransport
 from repro.parallel.partition import (
     BlockPartition1D,
     BlockPartition2D,
@@ -63,6 +65,8 @@ __all__ = [
     "TimeStepMessage",
     "MessageRouter",
     "MultiprocessTransport",
+    "ShmRing",
+    "ShmRingTransport",
     "Connection",
     "RouterClosed",
     "Transport",

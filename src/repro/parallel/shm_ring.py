@@ -1,0 +1,653 @@
+"""Shared-memory ring-buffer transport for the hot rank channels.
+
+PR 2's multi-process backend funnels every hot-path packed batch through
+``multiprocessing.Queue``: one pickle per buffer, a feeder thread per queue,
+two pipe syscalls per batch, and — the documented limitation — a
+cross-process writer *lock* that a client SIGKILLed exactly mid-``put`` can
+leave held forever, wedging every other pusher to that rank.
+
+This module replaces the hot channel with a fixed-capacity
+**single-producer/single-consumer ring buffer** over
+``multiprocessing.shared_memory``.  One ring exists per (client, server-rank)
+pair — SPSC by construction, because a client streams to each rank from
+exactly one process at a time — and carries the existing
+:func:`repro.parallel.messages.pack_many` wire format unchanged:
+
+* Every slot holds one packed batch behind a 16-byte header: a **sequence
+  word** doubling as the commit flag, and the batch length.
+* The writer publishes a batch in four ordered stores: write-begin marker
+  (odd sequence), payload bytes, length, commit (even sequence) — and only
+  then advances the shared ``writer_cursor``.  A SIGKILL at *any* point
+  before the cursor store leaves the cursor unchanged, so the reader simply
+  never observes the torn slot: **one batch is lost, nothing wedges**.  There
+  are no cross-process locks on the data path at all.
+* The stale write-begin marker left behind by a killed writer is detected by
+  the restarted writer when it reuses the slot (the marker equals the odd
+  sequence it is about to write), counted in the ring's ``torn_batches``
+  counter and surfaced through :class:`TransportStats`.
+* Readers use a **busy-wait-then-park hybrid wakeup**: a short spin (the
+  common case — data arrives within microseconds under load), then a parked
+  wait on a per-rank ``multiprocessing.Semaphore`` gated by a
+  ``reader_waiting`` flag so writers only pay the post when the reader is
+  actually parked.  A semaphore rather than a ``Condition`` because a post
+  is one atomic operation with no critical section: a writer SIGKILLed
+  mid-notify cannot orphan anything.
+
+Control messages (hello/heartbeat/finished) stay on the bounded per-rank
+``mp.Queue`` of the parent class: they are rare, they are not on the
+throughput path, and the queue gives them multi-producer ordering for free.
+``ClientFinished`` is *deferred* server-side until the client's ring for that
+rank has drained, so the message that flips a buffer into drain mode can
+never overtake the data sent before it.
+
+Cursors and slot headers are aligned 8-byte words written via ``memcpy``;
+CPython performs each store as a single aligned copy, which is atomic on
+every platform the fork-based launcher supports.  All counters are
+monotonic, so a stale read is always conservative (the reader sees *fewer*
+committed batches, the writer sees *less* free space).  The publish
+protocol additionally relies on store *ordering*: exact on x86 (total
+store order); on weakly-ordered CPUs a reader can transiently observe the
+cursor ahead of the slot's commit word, which it handles by re-polling the
+slot briefly (``_COMMIT_LAG_RETRIES``) and, failing that, skipping it as
+torn — counted, never wedged; a buffer published with a stale interior is
+rejected by the wire format's magic/length checks and counted as dropped.
+True cross-process fences would need a C extension and are out of scope
+for this reproduction.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional
+
+from repro.parallel.messages import (
+    ClientFinished,
+    Message,
+    TimeStepMessage,
+    WireFormatError,
+    pack_many,
+    unpack_many,
+)
+from repro.parallel.mp_transport import MultiprocessTransport
+from repro.parallel.transport import RouterClosed, TransportStats
+from repro.utils.logging import get_logger
+
+logger = get_logger("parallel.shm_ring")
+
+RING_MAGIC = 0x52425546  # "RBUF"
+RING_VERSION = 1
+
+#: Ring header layout (64 bytes, one cache line).  All fields are 8-byte
+#: aligned little-endian u64 words except the magic/version pair.
+_HDR_MAGIC = 0  # u32 magic, u16 version, u16 pad
+_HDR_NUM_SLOTS = 8
+_HDR_SLOT_BYTES = 16
+_HDR_WRITER_CURSOR = 24  # batches committed (writer-owned)
+_HDR_READER_CURSOR = 32  # batches consumed (reader-owned)
+_HDR_WRITER_TORN = 40  # stale write-begin markers found by a restarted writer
+_HDR_READER_TORN = 48  # corrupt slot headers skipped by the reader
+_HDR_HIGH_WATER = 56  # max ring depth observed by the writer
+RING_HEADER_BYTES = 64
+
+#: Slot header: sequence/commit word, then payload length.
+_SLOT_SEQ = 0
+_SLOT_LENGTH = 8
+SLOT_HEADER_BYTES = 16
+
+_U64 = struct.Struct("<Q")
+_MAGIC_WORD = struct.Struct("<IHH")
+
+#: Busy-wait budget before parking on the condition / sleeping (seconds).
+DEFAULT_SPIN_WAIT = 2e-4
+#: Writer back-off while the ring is full (the reader is busy; sub-ms poll).
+_FULL_RING_BACKOFF = 5e-4
+
+DEFAULT_RING_SLOTS = 16
+DEFAULT_RING_SLOT_BYTES = 64 * 1024
+
+#: Upper bound on one transport's ring segment.  The grid allocates
+#: ranks x clients rings upfront, so a paper-scale ensemble with the default
+#: geometry would silently claim gigabytes of /dev/shm; fail fast with an
+#: actionable message instead (slot-table multiplexing is the ROADMAP
+#: follow-up that lifts this).
+MAX_SEGMENT_BYTES = 1 << 30
+
+#: How many times the reader re-polls a slot whose commit word lags the
+#: writer cursor before declaring it torn.  On x86 (total store order) the
+#: lag cannot happen; on weakly-ordered CPUs the writer's stores become
+#: visible within nanoseconds, so a brief re-read closes the window.
+_COMMIT_LAG_RETRIES = 128
+
+
+class ShmRing:
+    """Fixed-capacity SPSC byte-buffer ring over a shared-memory view.
+
+    The ring does not own its memory: it operates on a ``memoryview`` slice
+    of a :class:`multiprocessing.shared_memory.SharedMemory` block (see
+    :class:`ShmRingTransport`, which packs one ring per (client, rank) pair
+    into a single segment).  All mutable state lives inside the view, so a
+    forked child and its parent observe the same cursors.
+    """
+
+    def __init__(self, buf: memoryview, num_slots: int, slot_bytes: int,
+                 create: bool = False) -> None:
+        if num_slots <= 0:
+            raise ValueError("num_slots must be positive")
+        if slot_bytes <= 0 or slot_bytes % 8:
+            raise ValueError("slot_bytes must be a positive multiple of 8")
+        expected = self.layout_bytes(num_slots, slot_bytes)
+        if len(buf) < expected:
+            raise ValueError(f"ring view too small: {len(buf)} < {expected} bytes")
+        self._buf = buf
+        self.num_slots = int(num_slots)
+        self.slot_bytes = int(slot_bytes)
+        self._stride = SLOT_HEADER_BYTES + self.slot_bytes
+        if create:
+            buf[:expected] = bytes(expected)
+            _MAGIC_WORD.pack_into(buf, _HDR_MAGIC, RING_MAGIC, RING_VERSION, 0)
+            _U64.pack_into(buf, _HDR_NUM_SLOTS, self.num_slots)
+            _U64.pack_into(buf, _HDR_SLOT_BYTES, self.slot_bytes)
+        else:
+            magic, version, _pad = _MAGIC_WORD.unpack_from(buf, _HDR_MAGIC)
+            if magic != RING_MAGIC or version != RING_VERSION:
+                raise ValueError("view does not hold an initialised ShmRing header")
+            if (self._load(_HDR_NUM_SLOTS) != self.num_slots
+                    or self._load(_HDR_SLOT_BYTES) != self.slot_bytes):
+                raise ValueError("ring geometry does not match the header")
+
+    @staticmethod
+    def layout_bytes(num_slots: int, slot_bytes: int) -> int:
+        """Shared-memory footprint of one ring with this geometry."""
+        return RING_HEADER_BYTES + num_slots * (SLOT_HEADER_BYTES + slot_bytes)
+
+    # ------------------------------------------------------------- word access
+    def _load(self, offset: int) -> int:
+        return _U64.unpack_from(self._buf, offset)[0]
+
+    def _store(self, offset: int, value: int) -> None:
+        _U64.pack_into(self._buf, offset, value)
+
+    def _slot_offset(self, cursor: int) -> int:
+        return RING_HEADER_BYTES + (cursor % self.num_slots) * self._stride
+
+    # ----------------------------------------------------------------- writer
+    def try_write(self, data: bytes) -> bool:
+        """Publish one batch; False when the ring is full (never blocks).
+
+        The commit protocol stores, in order: the odd write-begin marker, the
+        payload, the length, the even commit word, and finally the writer
+        cursor.  Crashing between any two stores leaves the cursor
+        unpublished, so the reader never sees the torn slot.
+        """
+        length = len(data)
+        if length > self.slot_bytes:
+            raise ValueError(
+                f"batch of {length} bytes exceeds the {self.slot_bytes}-byte ring slot"
+            )
+        writer = self._load(_HDR_WRITER_CURSOR)
+        reader = self._load(_HDR_READER_CURSOR)
+        if writer - reader >= self.num_slots:
+            return False
+        offset = self._slot_offset(writer)
+        begin_marker = 2 * writer + 1
+        if self._load(offset + _SLOT_SEQ) == begin_marker:
+            # A previous incarnation of this writer died mid-write in this
+            # very slot (its cursor was never advanced): count the torn batch
+            # the restarted writer is about to overwrite.
+            self._store(_HDR_WRITER_TORN, self._load(_HDR_WRITER_TORN) + 1)
+        self._store(offset + _SLOT_SEQ, begin_marker)
+        payload_at = offset + SLOT_HEADER_BYTES
+        self._buf[payload_at : payload_at + length] = data
+        self._store(offset + _SLOT_LENGTH, length)
+        self._store(offset + _SLOT_SEQ, 2 * writer + 2)  # commit flag
+        self._store(_HDR_WRITER_CURSOR, writer + 1)
+        depth = writer + 1 - reader
+        if depth > self._load(_HDR_HIGH_WATER):
+            self._store(_HDR_HIGH_WATER, depth)
+        return True
+
+    def write(
+        self,
+        data: bytes,
+        timeout: Optional[float] = None,
+        should_abort: Optional[Callable[[], bool]] = None,
+    ) -> bool:
+        """Blocking :meth:`try_write`: spin briefly, then sleep-poll for room.
+
+        Returns False on timeout or when ``should_abort`` fires; the caller
+        decides between ``queue.Full`` and :class:`RouterClosed` semantics.
+        A full ring means the reader is saturated, so the writer back-off is
+        a plain sub-millisecond sleep — there is nothing to wake it earlier.
+        """
+        if self.try_write(data):
+            return True
+        start = time.monotonic()
+        deadline = None if timeout is None else start + timeout
+        spin_until = start + DEFAULT_SPIN_WAIT
+        while True:
+            if should_abort is not None and should_abort():
+                return False
+            if time.monotonic() >= spin_until:
+                break
+            if self.try_write(data):
+                return True
+        while True:
+            if self.try_write(data):
+                return True
+            if should_abort is not None and should_abort():
+                return False
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                return False
+            pause = _FULL_RING_BACKOFF
+            if deadline is not None:
+                pause = min(pause, max(deadline - now, 0.0))
+            time.sleep(pause)
+
+    # ----------------------------------------------------------------- reader
+    def try_read(self) -> Optional[bytes]:
+        """Pop the next committed batch; ``None`` when the ring is empty.
+
+        A published slot whose commit word or length does not match cannot
+        happen under the SPSC protocol on a TSO machine; on weakly-ordered
+        CPUs it can transiently lag the cursor, so the slot is re-polled
+        briefly and only then skipped — counted in ``torn_batches`` instead
+        of wedging the reader on garbage.
+        """
+        while True:
+            reader = self._load(_HDR_READER_CURSOR)
+            if self._load(_HDR_WRITER_CURSOR) <= reader:
+                return None
+            offset = self._slot_offset(reader)
+            committed_seq = 2 * reader + 2
+            for _ in range(_COMMIT_LAG_RETRIES):
+                length = self._load(offset + _SLOT_LENGTH)
+                committed = self._load(offset + _SLOT_SEQ) == committed_seq
+                if committed and length <= self.slot_bytes:
+                    break
+            if committed and length <= self.slot_bytes:
+                payload_at = offset + SLOT_HEADER_BYTES
+                data = bytes(self._buf[payload_at : payload_at + length])
+                self._store(_HDR_READER_CURSOR, reader + 1)
+                return data
+            logger.warning("skipping corrupt ring slot at cursor %d", reader)
+            self._store(_HDR_READER_TORN, self._load(_HDR_READER_TORN) + 1)
+            self._store(_HDR_READER_CURSOR, reader + 1)
+
+    # ------------------------------------------------------------------ state
+    @property
+    def depth(self) -> int:
+        """Committed batches not yet consumed."""
+        return self._load(_HDR_WRITER_CURSOR) - self._load(_HDR_READER_CURSOR)
+
+    @property
+    def high_water(self) -> int:
+        """Deepest the ring has ever been (in batches)."""
+        return self._load(_HDR_HIGH_WATER)
+
+    @property
+    def torn_batches(self) -> int:
+        """Batches lost to a writer killed mid-write (plus defensive skips)."""
+        return self._load(_HDR_WRITER_TORN) + self._load(_HDR_READER_TORN)
+
+    def release(self) -> None:
+        """Drop the memoryview so the owning shared block can be closed."""
+        self._buf.release()
+
+
+class ShmRingTransport(MultiprocessTransport):
+    """Multi-process transport whose hot rank channels are shared-memory rings.
+
+    One :class:`ShmRing` per (client, server-rank) pair carries the packed
+    time-step batches; the bounded per-rank ``mp.Queue`` of the parent class
+    is kept for control messages only (register/heartbeat/finished), which
+    are rare and need multi-producer ordering.  All rings live in **one**
+    shared-memory segment created by the server process and inherited by the
+    forked clients, so there is nothing to name, attach or clean up per
+    client.
+
+    Parameters
+    ----------
+    num_server_ranks:
+        Number of server ranks (one aggregator thread each).
+    num_clients:
+        Ring capacity in clients: client ids ``0..num_clients-1`` get a
+        dedicated ring per rank.  Messages from ids outside that range (or
+        non-time-step messages) fall back to the control queue, so the
+        transport stays functional for ad-hoc callers.
+    ring_slots / ring_slot_bytes:
+        Geometry of every ring: ``ring_slots`` batches of at most
+        ``ring_slot_bytes`` packed bytes.  A batch that outgrows a slot is
+        split in half recursively; a single message that cannot fit raises
+        :class:`WireFormatError` naming the knob to raise.
+    """
+
+    def __init__(
+        self,
+        num_server_ranks: int,
+        num_clients: int = 8,
+        max_queue_size: int = 10_000,
+        ring_slots: int = DEFAULT_RING_SLOTS,
+        ring_slot_bytes: int = DEFAULT_RING_SLOT_BYTES,
+        spin_wait: float = DEFAULT_SPIN_WAIT,
+    ) -> None:
+        super().__init__(num_server_ranks, max_queue_size=max_queue_size)
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        if ring_slots <= 0:
+            raise ValueError("ring_slots must be positive")
+        if ring_slot_bytes <= 0:
+            raise ValueError("ring_slot_bytes must be positive")
+        self.num_clients = int(num_clients)
+        self.ring_slots = int(ring_slots)
+        self.ring_slot_bytes = int(-(-ring_slot_bytes // 8) * 8)  # 8-byte aligned slots
+        self.spin_wait = float(spin_wait)
+
+        ring_bytes = ShmRing.layout_bytes(self.ring_slots, self.ring_slot_bytes)
+        total = self.num_server_ranks * self.num_clients * ring_bytes
+        if total > MAX_SEGMENT_BYTES:
+            raise ValueError(
+                f"shm ring grid needs {total / 2**20:.0f} MiB "
+                f"({num_server_ranks} ranks x {num_clients} clients x "
+                f"{ring_bytes / 2**10:.0f} KiB/ring), above the "
+                f"{MAX_SEGMENT_BYTES // 2**20} MiB guard; shrink "
+                "ring_slots/ring_slot_bytes or the client count "
+                "(slot-table multiplexing for paper-scale ensembles is a "
+                "ROADMAP follow-up)"
+            )
+        try:
+            self._shm = shared_memory.SharedMemory(create=True, size=total)
+        except OSError as exc:
+            raise OSError(
+                f"could not allocate the {total / 2**20:.0f} MiB shm ring segment "
+                "(check /dev/shm capacity, or shrink ring_slots/ring_slot_bytes)"
+            ) from exc
+        self._creator_pid = os.getpid()
+        self._released = False
+        self._rings: List[List[ShmRing]] = []
+        for rank in range(self.num_server_ranks):
+            row = []
+            for client in range(self.num_clients):
+                begin = (rank * self.num_clients + client) * ring_bytes
+                view = self._shm.buf[begin : begin + ring_bytes]
+                row.append(ShmRing(view, self.ring_slots, self.ring_slot_bytes, create=True))
+            self._rings.append(row)
+        # Reader wakeup: one semaphore per rank, posted by writers only when
+        # the rank's reader advertises that it is parked.  A semaphore (one
+        # atomic post, no critical section) is kill-safe where a Condition is
+        # not: a client SIGKILLed inside a Condition.notify would orphan the
+        # condition's lock and wedge the reader — the very failure mode the
+        # rings exist to remove.
+        self._wakeups = [mp.Semaphore(0) for _ in range(self.num_server_ranks)]
+        self._reader_waiting = [mp.Value("b", 0, lock=False)
+                                for _ in range(self.num_server_ranks)]
+        self._deferred_finished: List[List[ClientFinished]] = [
+            [] for _ in range(self.num_server_ranks)
+        ]
+        self._qsize_broken = False  # macOS: mp.Queue.qsize is unimplemented
+
+    # ----------------------------------------------------------------- client
+    def _ring_for(self, rank: int, message: Message) -> Optional[ShmRing]:
+        """The hot-path ring for a message, or ``None`` for the control queue."""
+        if type(message) is TimeStepMessage and 0 <= message.client_id < self.num_clients:
+            return self._rings[rank][message.client_id]
+        return None
+
+    def push_many(self, rank: int, messages: List[Message],
+                  timeout: float | None = None) -> None:
+        """Route a batch: time steps to their client's ring, the rest queued.
+
+        A client's data batch is homogeneous (one client, all time steps), so
+        the common case is a single packed ring write.  Mixed batches are
+        split into maximal ring-eligible runs to preserve order.
+        """
+        self._check_rank(rank)
+        if not messages:
+            return
+        if self._closed.is_set():
+            self._shared.record_dropped(len(messages))
+            raise RouterClosed("transport is closed")
+        runs: List[tuple[Optional[ShmRing], List[Message]]] = []
+        for message in messages:
+            ring = self._ring_for(rank, message)
+            if runs and runs[-1][0] is ring:
+                runs[-1][1].append(message)
+            else:
+                runs.append((ring, [message]))
+        for index, (ring, run) in enumerate(runs):
+            try:
+                if ring is None:
+                    super().push_many(rank, run, timeout=timeout)
+                    self._notify(rank)
+                else:
+                    self._write_ring(rank, ring, run, timeout)
+            except (queue.Full, RouterClosed, WireFormatError):
+                # The failing run was counted where it failed; the runs after
+                # it are never attempted and die with the batch.
+                remainder = sum(len(r) for _, r in runs[index + 1 :])
+                self._shared.record_dropped(remainder)
+                raise
+
+    def _ring_chunks(self, ring: ShmRing,
+                     run: List[Message]) -> List[tuple[List[Message], bytes]]:
+        """Pack ``run`` into slot-sized buffers, splitting in half as needed."""
+        buffer = pack_many(run)
+        if len(buffer) <= ring.slot_bytes:
+            return [(run, buffer)]
+        if len(run) == 1:
+            raise WireFormatError(
+                f"one packed message of {len(buffer)} bytes exceeds the "
+                f"{ring.slot_bytes}-byte ring slot; raise "
+                "OnlineStudyConfig.ring_slot_bytes"
+            )
+        middle = len(run) // 2
+        return self._ring_chunks(ring, run[:middle]) + self._ring_chunks(ring, run[middle:])
+
+    def _write_ring(self, rank: int, ring: ShmRing, run: List[Message],
+                    timeout: float | None) -> None:
+        try:
+            chunks = self._ring_chunks(ring, run)
+        except WireFormatError:
+            self._shared.record_dropped(len(run))
+            raise
+        for index, (chunk, buffer) in enumerate(chunks):
+            ok = ring.write(buffer, timeout=timeout, should_abort=self._closed.is_set)
+            if not ok:
+                self._shared.record_dropped(sum(len(c) for c, _ in chunks[index:]))
+                if self._closed.is_set():
+                    raise RouterClosed("transport is closed")
+                raise queue.Full
+            self._shared.record_batch(rank, len(chunk), len(buffer))
+            self._notify(rank)
+
+    def _notify(self, rank: int) -> None:
+        """Wake the rank's reader, but only when it is actually parked.
+
+        One semaphore post, taken without any lock, so a writer killed at
+        any point here leaves nothing orphaned.  A post that races a reader
+        that stopped waiting merely causes one spurious wakeup later.
+        """
+        if self._reader_waiting[rank].value:
+            self._wakeups[rank].release()
+
+    # ----------------------------------------------------------------- server
+    def poll_many(self, rank: int, max_messages: int = 64,
+                  timeout: float | None = 0.05) -> List[Message]:
+        if max_messages <= 0:
+            raise ValueError("max_messages must be positive")
+        self._check_rank(rank)
+        messages: List[Message] = []
+        leftover = self._leftover[rank]
+        while leftover and len(messages) < max_messages:
+            messages.append(leftover.popleft())
+        self._drain(rank, messages, max_messages)
+        if messages or timeout is None:
+            return messages
+        deadline = time.monotonic() + timeout
+        wakeup = self._wakeups[rank]
+        waiting = self._reader_waiting[rank]
+        while True:
+            now = time.monotonic()
+            if now >= deadline:
+                return messages
+            if self._ready(rank):
+                # A control put may still be in flight through the queue's
+                # feeder pipe (qsize leads the readable bytes); yield briefly
+                # and re-drain instead of giving up on a non-empty channel.
+                time.sleep(min(5e-5, deadline - now))
+            else:
+                spin_until = min(deadline, now + self.spin_wait)
+                parked = True
+                while time.monotonic() < spin_until:  # busy-wait: data is near
+                    if self._ready(rank):
+                        parked = False
+                        break
+                if parked:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return messages
+                    waiting.value = 1
+                    try:
+                        while wakeup.acquire(False):
+                            pass  # drop stale posts before parking
+                        if not self._ready(rank):
+                            # Bounded so control messages are still seen on
+                            # platforms where _ready cannot probe the queue.
+                            wakeup.acquire(True, min(remaining, 0.05))
+                    finally:
+                        waiting.value = 0
+            self._drain(rank, messages, max_messages)
+            if messages:
+                return messages
+
+    def _ready(self, rank: int) -> bool:
+        """Anything deliverable right now? (cheap, lock-free probes)"""
+        if not self._qsize_broken:
+            try:
+                if self._queues[rank].qsize() > 0:
+                    return True
+            except (NotImplementedError, OSError):  # pragma: no cover - macOS
+                # No queue probe on this platform: rely on the bounded park
+                # in poll_many to pick control messages up within 50 ms.
+                self._qsize_broken = True
+        return any(ring.depth for ring in self._rings[rank])
+
+    def _drain(self, rank: int, out: List[Message], max_messages: int) -> None:
+        """One non-blocking sweep: control queue, rings, deferred finished."""
+        self._drain_control(rank, out, max_messages)
+        self._drain_rings(rank, out, max_messages)
+        self._release_finished(rank, out, max_messages)
+
+    def _drain_control(self, rank: int, out: List[Message], max_messages: int) -> None:
+        while len(out) < max_messages:
+            batch = self._get_batch(rank, None)
+            if batch is None:
+                return
+            for message in batch:
+                if isinstance(message, ClientFinished) and not self._client_drained(
+                    rank, message.client_id
+                ):
+                    # Hold the finished marker until the client's ring for
+                    # this rank is empty: it must not overtake the data.
+                    self._deferred_finished[rank].append(message)
+                else:
+                    self._absorb(rank, out, [message], max_messages)
+
+    def _drain_rings(self, rank: int, out: List[Message], max_messages: int) -> None:
+        rings = self._rings[rank]
+        progressed = True
+        while progressed and len(out) < max_messages:
+            progressed = False
+            for ring in rings:
+                if len(out) >= max_messages:
+                    return
+                if not ring.depth:
+                    continue
+                buffer = ring.try_read()
+                if buffer is None:
+                    continue
+                progressed = True
+                try:
+                    batch = unpack_many(buffer)
+                except WireFormatError:
+                    logger.warning("rank %d: discarding unparsable ring batch", rank,
+                                   exc_info=True)
+                    self._shared.record_dropped(1)
+                    continue
+                self._absorb(rank, out, batch, max_messages)
+
+    def _release_finished(self, rank: int, out: List[Message], max_messages: int) -> None:
+        deferred = self._deferred_finished[rank]
+        if not deferred:
+            return
+        still_waiting: List[ClientFinished] = []
+        for message in deferred:
+            if len(out) < max_messages and self._client_drained(rank, message.client_id):
+                self._absorb(rank, out, [message], max_messages)
+            else:
+                still_waiting.append(message)
+        self._deferred_finished[rank] = still_waiting
+
+    def _client_drained(self, rank: int, client_id: int) -> bool:
+        if 0 <= client_id < self.num_clients:
+            return self._rings[rank][client_id].depth == 0
+        return True
+
+    def pending(self, rank: int) -> int:
+        """Leftovers plus queued control batches plus ring batches."""
+        self._check_rank(rank)
+        try:
+            queued = self._queues[rank].qsize()
+        except (NotImplementedError, OSError):  # pragma: no cover - macOS
+            queued = 0
+        depth = sum(ring.depth for ring in self._rings[rank])
+        return (len(self._leftover[rank]) + queued
+                + depth + len(self._deferred_finished[rank]))
+
+    # --------------------------------------------------------------- lifecycle
+    def shutdown(self) -> None:
+        """Close, wake parked readers/writers, drain queues, free the segment.
+
+        Only the creating process unlinks the shared segment; forked clients
+        merely drop their inherited mapping when they exit.
+        """
+        self.close()
+        for wakeup in self._wakeups:
+            wakeup.release()  # at most one parked reader per rank
+        super().shutdown()
+        if self._released:
+            return
+        self._released = True
+        for row in self._rings:
+            for ring in row:
+                ring.release()
+        self._rings = []
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - an undropped external view
+            logger.warning("shared ring segment still has exported views", exc_info=True)
+            return
+        if os.getpid() == self._creator_pid:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+    @property
+    def stats(self) -> TransportStats:
+        snapshot = self._shared.snapshot()
+        high_water: Dict[int, int] = {}
+        torn = 0
+        for rank, row in enumerate(self._rings):
+            torn += sum(ring.torn_batches for ring in row)
+            deepest = max((ring.high_water for ring in row), default=0)
+            if deepest:
+                high_water[rank] = int(deepest)
+        snapshot.torn_batches = torn
+        snapshot.ring_depth_high_water = high_water
+        return snapshot

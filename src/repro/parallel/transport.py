@@ -11,6 +11,10 @@ channel.  Two backends implement the interface:
   isolation: one ``multiprocessing.Queue`` per rank carrying *packed batches*
   (:func:`repro.parallel.messages.pack_many`), with shared-memory statistics
   counters visible from every client process.
+* :class:`repro.parallel.shm_ring.ShmRingTransport` — the same process
+  isolation, but the hot time-step channels are lock-free shared-memory SPSC
+  ring buffers (one per client and rank); only rare control messages ride
+  the ``mp.Queue``.
 
 Use :func:`make_transport` to build a backend from a study-config string.
 Both backends keep aggregate statistics (messages/bytes routed, drops) used
@@ -38,13 +42,18 @@ class TransportStats:
 
     ``dropped_messages`` counts every message that failed to enter a rank
     channel: pushes that timed out on a full queue and pushes rejected
-    because the transport was already closed.
+    because the transport was already closed.  The ring-buffer backend adds
+    ``torn_batches`` (batches lost to a writer killed mid-write) and
+    ``ring_depth_high_water`` (deepest observed backlog per rank, in
+    batches); both stay at their defaults on the other backends.
     """
 
     messages_routed: int = 0
     bytes_routed: int = 0
     per_rank_messages: Dict[int, int] = field(default_factory=dict)
     dropped_messages: int = 0
+    torn_batches: int = 0
+    ring_depth_high_water: Dict[int, int] = field(default_factory=dict)
 
     def record(self, rank: int, nbytes: int) -> None:
         self.messages_routed += 1
@@ -314,13 +323,23 @@ class Connection:
         return [message for batch in self._pending.values() for message in batch]
 
 
-def make_transport(kind: str, num_server_ranks: int,
-                   max_queue_size: int = 10_000) -> Transport:
+def make_transport(
+    kind: str,
+    num_server_ranks: int,
+    max_queue_size: int = 10_000,
+    num_clients: int = 8,
+    ring_slots: Optional[int] = None,
+    ring_slot_bytes: Optional[int] = None,
+) -> Transport:
     """Build a transport backend from a study-config string.
 
     ``"inproc"`` is the thread-based :class:`MessageRouter`; ``"mp"`` is the
     multi-process backend carrying packed batches over ``multiprocessing``
-    queues (clients may then run as real OS processes).
+    queues; ``"shm"`` keeps the ``mp`` control queues but moves the hot
+    time-step channels onto shared-memory SPSC rings, one per
+    (client, server-rank) pair — ``num_clients`` sizes that ring grid and
+    ``ring_slots``/``ring_slot_bytes`` its per-ring geometry (``None`` keeps
+    the backend defaults).
     """
     if kind == "inproc":
         return MessageRouter(num_server_ranks, max_queue_size=max_queue_size)
@@ -328,4 +347,21 @@ def make_transport(kind: str, num_server_ranks: int,
         from repro.parallel.mp_transport import MultiprocessTransport
 
         return MultiprocessTransport(num_server_ranks, max_queue_size=max_queue_size)
-    raise ValueError(f"unknown transport kind {kind!r} (expected 'inproc' or 'mp')")
+    if kind == "shm":
+        from repro.parallel.shm_ring import (
+            DEFAULT_RING_SLOT_BYTES,
+            DEFAULT_RING_SLOTS,
+            ShmRingTransport,
+        )
+
+        return ShmRingTransport(
+            num_server_ranks,
+            num_clients=num_clients,
+            max_queue_size=max_queue_size,
+            ring_slots=DEFAULT_RING_SLOTS if ring_slots is None else ring_slots,
+            ring_slot_bytes=(DEFAULT_RING_SLOT_BYTES if ring_slot_bytes is None
+                             else ring_slot_bytes),
+        )
+    raise ValueError(
+        f"unknown transport kind {kind!r} (expected 'inproc', 'mp' or 'shm')"
+    )

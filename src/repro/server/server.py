@@ -13,8 +13,6 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional
 
-import numpy as np
-
 from repro.buffers import make_buffer
 from repro.buffers.base import TrainingBuffer
 from repro.core.metrics import TrainingMetrics, merge_worker_metrics, throughput_from_summary

@@ -11,7 +11,7 @@ paper's termination condition applied to the data-parallel case.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 import numpy as np

@@ -19,7 +19,7 @@ extrapolate to the paper's 20 000-simulation, 8 TB configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -47,7 +47,6 @@ def test_client_api_round_robin_starts_at_client_id():
     api.init_communication((0.0,), 1, ())
     rank = None
     # The first time step of client 2 must land on rank 2.
-    message = TimeStepMessage(client_id=2)
     for candidate in range(4):
         if router.pending(candidate):
             drain(router, candidate)

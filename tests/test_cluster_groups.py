@@ -1,6 +1,5 @@
 """Tests for job groups and the client-series submitter."""
 
-import pytest
 
 from repro.cluster import BatchScheduler, ClusterSpec, Job, JobGroup, JobState, NodeSpec, Partition
 from repro.cluster.groups import SeriesSubmitter

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.config import OfflineStudyConfig, OnlineStudyConfig
+from repro.core.config import OfflineStudyConfig
 from repro.core.study import OfflineStudy, OnlineStudy
 from repro.experiments.common import build_validation, online_config, run_offline_baseline, run_online_with_buffer
 

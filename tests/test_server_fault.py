@@ -1,6 +1,5 @@
 """Tests for the fault-tolerance primitives (message log, heartbeats, checkpointer)."""
 
-import numpy as np
 import pytest
 
 from repro.nn import Adam, MLPConfig, build_mlp, state_dict_equal

@@ -1,7 +1,6 @@
 """Tests for the training worker (single rank, buffer-driven loop)."""
 
 import numpy as np
-import pytest
 
 from repro.buffers import FIFOBuffer, ReservoirBuffer
 from repro.buffers.base import SampleRecord

@@ -1,0 +1,257 @@
+"""Fault-injection tests for the shared-memory ring-buffer transport.
+
+The ring closes the documented ``mp.Queue`` limitation: a client SIGKILLed
+mid-write must cost at most the one batch it was writing — never a wedged
+reader or a stalled lock.  These tests pin that contract, the slow-reader
+drop accounting, wraparound integrity, and the control-message ordering
+(``ClientFinished`` never overtakes ring data).
+"""
+
+import queue
+import time
+
+import numpy as np
+import pytest
+
+from repro.buffers import FIFOBuffer
+from repro.client.api import ClientAPI
+from repro.launcher.launcher import _fork_mp
+from repro.parallel.messages import ClientFinished, TimeStepMessage, WireFormatError
+from repro.parallel.shm_ring import (
+    _HDR_WRITER_CURSOR,
+    RING_HEADER_BYTES,
+    ShmRing,
+    ShmRingTransport,
+)
+from repro.server.aggregator import DataAggregator
+from repro.server.fault import MessageLog
+from repro.utils.constants import QUEUE_DROP_TIMEOUT
+
+DEADLINE = 30.0  # generous cap: every blocking wait in this module fails by then
+
+NUM_STEPS = 40
+FIELD = np.arange(8, dtype=np.float32)
+
+
+def wait_until(predicate, timeout=DEADLINE, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def stream_steps(transport, client_id, num_steps, step_delay=0.0, batch_size=1):
+    """Run the three-call client contract, streaming ``num_steps`` messages."""
+    api = ClientAPI(transport, client_id, send_batch_size=batch_size)
+    api.init_communication(parameters=(1.0, 2.0), num_time_steps=num_steps,
+                           field_shape=FIELD.shape)
+    for step in range(num_steps):
+        api.send(step, step * 0.1, (1.0, 2.0), FIELD)
+        if step_delay:
+            time.sleep(step_delay)
+    api.finalize_communication()
+
+
+@pytest.fixture
+def transport():
+    transport = ShmRingTransport(num_server_ranks=1, num_clients=2,
+                                 ring_slots=32, ring_slot_bytes=8192)
+    yield transport
+    transport.shutdown()
+
+
+def make_ring(num_slots=4, slot_bytes=64):
+    """A standalone ring over plain process-local memory (logic tests)."""
+    buf = memoryview(bytearray(ShmRing.layout_bytes(num_slots, slot_bytes)))
+    return ShmRing(buf, num_slots, slot_bytes, create=True)
+
+
+# ------------------------------------------------------------- wraparound
+def test_wraparound_at_slot_boundary_round_trips_byte_for_byte():
+    """Many times the slot count, with varying lengths, crossing the
+    wrap boundary at every lap — every buffer must come back identical."""
+    ring = make_ring(num_slots=4, slot_bytes=64)
+    payloads = [bytes([i % 256]) * (1 + (7 * i) % 64) for i in range(50)]
+    written = 0
+    for read_index in range(len(payloads)):
+        while written < len(payloads) and ring.try_write(payloads[written]):
+            written += 1  # fill to the boundary so every lap wraps while full
+        data = ring.try_read()
+        assert data == payloads[read_index], f"buffer {read_index} corrupted"
+    assert written == len(payloads)
+    assert ring.depth == 0
+    assert ring.torn_batches == 0
+    assert ring.high_water == 4  # the ring really filled to the boundary
+
+
+def test_write_rejects_oversized_buffer():
+    ring = make_ring(num_slots=2, slot_bytes=64)
+    with pytest.raises(ValueError):
+        ring.try_write(b"x" * 65)
+
+
+# ------------------------------------------------------------- torn writes
+def test_writer_died_mid_write_reader_survives_and_torn_batch_is_counted():
+    """A write-begin marker without a commit (the exact shared state a
+    SIGKILL mid-write leaves behind) is invisible to the reader; the
+    restarted writer reusing the slot counts the torn batch."""
+    ring = make_ring(num_slots=4, slot_bytes=64)
+    assert ring.try_write(b"delivered")
+    assert ring.try_read() == b"delivered"
+
+    # Simulate the kill: the victim stored its begin marker (odd sequence)
+    # and some payload bytes, but died before the commit/cursor stores.
+    writer = ring._load(_HDR_WRITER_CURSOR)
+    slot = RING_HEADER_BYTES + (writer % 4) * ring._stride
+    ring._store(slot, 2 * writer + 1)
+    ring._buf[slot + 16 : slot + 24] = b"torndata"
+
+    assert ring.try_read() is None  # nothing published: the reader never wedges
+    assert ring.depth == 0
+    assert ring.torn_batches == 0  # not yet discovered
+
+    # The restarted writer reuses the slot: the stale marker is detected,
+    # counted, and the fresh batch goes through untouched.
+    assert ring.try_write(b"after-restart")
+    assert ring.torn_batches == 1
+    assert ring.try_read() == b"after-restart"
+    assert ring.try_write(b"steady-state")
+    assert ring.torn_batches == 1  # counted exactly once
+
+
+def test_client_process_killed_mid_stream_then_restart_dedup(transport):
+    """The mp.Queue kill test, on rings: SIGKILL a streaming client process;
+    the reader keeps draining, a restart resends and the server's message
+    log dedups.  No locks to orphan means no wedge to tolerate."""
+    buffer = FIFOBuffer(capacity=10 * NUM_STEPS)
+    aggregator = DataAggregator(rank=0, router=transport, buffer=buffer,
+                                expected_clients=1, message_log=MessageLog(),
+                                poll_timeout=0.02)
+    aggregator.start()
+    try:
+        process = _fork_mp().Process(
+            target=stream_steps,
+            args=(transport, 0, NUM_STEPS),
+            kwargs={"step_delay": 0.01, "batch_size": 4},
+            daemon=True,
+        )
+        process.start()
+        assert wait_until(lambda: aggregator.stats.samples_received >= 5), \
+            "server never received the first samples"
+        process.kill()
+        process.join(DEADLINE)
+        assert not process.is_alive()
+
+        received_before_restart = aggregator.stats.samples_received
+        assert received_before_restart < NUM_STEPS
+
+        restarted = _fork_mp().Process(target=stream_steps,
+                                       args=(transport, 0, NUM_STEPS),
+                                       kwargs={"batch_size": 4}, daemon=True)
+        restarted.start()
+        restarted.join(DEADLINE)
+        assert restarted.exitcode == 0
+        assert wait_until(lambda: aggregator.reception_complete), \
+            "ClientFinished never reached the aggregator"
+    finally:
+        aggregator.stop()
+
+    assert aggregator.stats.samples_received == NUM_STEPS
+    assert aggregator.stats.duplicates_discarded >= received_before_restart - 1
+    # A SIGKILL landing exactly mid-write tears at most the one in-flight
+    # batch, which the restarted writer detects and counts.
+    assert transport.stats.torn_batches <= 1
+    assert transport.stats.dropped_messages == 0
+
+
+# ------------------------------------------------------------ slow reader
+def test_slow_reader_drop_accounting_matches_transport_stats():
+    """With no reader draining, a bounded push times out on the full ring
+    and every dropped message lands in ``TransportStats.dropped_messages``."""
+    transport = ShmRingTransport(num_server_ranks=1, num_clients=1,
+                                 ring_slots=2, ring_slot_bytes=4096)
+    try:
+        message = TimeStepMessage(client_id=0, time_step=0, payload=FIELD)
+        transport.push(0, message)
+        transport.push(0, message)
+
+        began = time.monotonic()
+        with pytest.raises(queue.Full):
+            transport.push(0, message, timeout=QUEUE_DROP_TIMEOUT)
+        assert time.monotonic() - began < DEADLINE  # timed out, did not hang
+        assert transport.stats.dropped_messages == 1
+
+        with pytest.raises(queue.Full):
+            transport.push_many(
+                0,
+                [TimeStepMessage(client_id=0, time_step=step, payload=FIELD)
+                 for step in range(3)],
+                timeout=QUEUE_DROP_TIMEOUT,
+            )
+        assert transport.stats.dropped_messages == 4  # whole batch dropped
+
+        # Messages that did get through are not counted as dropped, and the
+        # ring's high-water mark recorded the saturated depth.
+        assert transport.stats.messages_routed == 2
+        assert transport.stats.ring_depth_high_water == {0: 2}
+    finally:
+        transport.shutdown()
+
+
+# --------------------------------------------------------- message routing
+def test_finished_never_overtakes_ring_data(transport):
+    """``ClientFinished`` rides the control queue but must be delivered only
+    once the client's ring for that rank has drained."""
+    steps = [TimeStepMessage(client_id=0, time_step=step, payload=FIELD)
+             for step in range(6)]
+    transport.push_many(0, steps)
+    transport.push(0, ClientFinished(client_id=0, total_sent=6))
+
+    received = []
+    deadline = time.monotonic() + DEADLINE
+    while len(received) < 7 and time.monotonic() < deadline:
+        received.extend(transport.poll_many(0, max_messages=2, timeout=0.1))
+    assert [m.time_step for m in received[:6]] == list(range(6))
+    assert isinstance(received[-1], ClientFinished)
+
+
+def test_oversized_batches_split_and_oversized_message_raises():
+    transport = ShmRingTransport(num_server_ranks=1, num_clients=1,
+                                 ring_slots=8, ring_slot_bytes=512)
+    try:
+        big = np.arange(64, dtype=np.float32)  # 4 packed messages > 512 B
+        batch = [TimeStepMessage(client_id=0, time_step=step, payload=big)
+                 for step in range(4)]
+        transport.push_many(0, batch)
+        received = []
+        while len(received) < 4:
+            chunk = transport.poll_many(0, max_messages=8, timeout=1.0)
+            assert chunk, "split batch never arrived"
+            received.extend(chunk)
+        assert received == batch  # order and bytes survive the split
+
+        huge = TimeStepMessage(client_id=0, time_step=9,
+                               payload=np.arange(512, dtype=np.float32))
+        with pytest.raises(WireFormatError, match="ring_slot_bytes"):
+            transport.push(0, huge)
+        assert transport.stats.dropped_messages == 1
+    finally:
+        transport.shutdown()
+
+
+def test_push_after_close_counts_dropped():
+    transport = ShmRingTransport(num_server_ranks=1, num_clients=1)
+    try:
+        message = TimeStepMessage(client_id=0, time_step=0, payload=FIELD)
+        transport.push(0, message)
+        transport.close()
+        from repro.parallel.transport import RouterClosed
+
+        with pytest.raises(RouterClosed):
+            transport.push(0, message)
+        assert transport.stats.dropped_messages == 1
+        assert transport.stats.messages_routed == 1
+    finally:
+        transport.shutdown()

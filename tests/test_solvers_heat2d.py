@@ -117,7 +117,6 @@ def test_implicit_euler_decay_rate_first_order():
     config = HeatEquationConfig(nx=33, ny=33, dt=1e-3, num_steps=10, alpha=1.0)
     initial, rate = separable_mode_decay(config, amplitude=1.0)
     solver = HeatEquationSolver(config)
-    params = HeatParameters(0.0, 0.0, 0.0, 0.0, 0.0)
 
     # Manually run the implicit stepping on the eigenmode initial condition.
     interior = initial[1:-1, 1:-1].ravel().copy()

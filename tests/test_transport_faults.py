@@ -20,6 +20,7 @@ from repro.parallel.mp_transport import MultiprocessTransport
 from repro.parallel.transport import MessageRouter, RouterClosed
 from repro.server.aggregator import DataAggregator
 from repro.server.fault import MessageLog
+from repro.utils.constants import QUEUE_DROP_TIMEOUT
 
 DEADLINE = 30.0  # generous cap: every blocking wait in this module fails by then
 
@@ -135,12 +136,12 @@ def test_full_queue_push_timeout_counts_dropped(backend):
 
         began = time.monotonic()
         with pytest.raises(queue.Full):
-            transport.push(0, message, timeout=0.1)
+            transport.push(0, message, timeout=QUEUE_DROP_TIMEOUT)
         assert time.monotonic() - began < DEADLINE  # timed out, did not hang
         assert transport.stats.dropped_messages == 1
 
         with pytest.raises(queue.Full):
-            transport.push_many(0, [message, message], timeout=0.1)
+            transport.push_many(0, [message, message], timeout=QUEUE_DROP_TIMEOUT)
         assert transport.stats.dropped_messages == 3  # whole batch dropped
 
         # Messages that did get through are not counted as dropped.
