@@ -18,6 +18,7 @@ robustness (a SIGKILL mid-write can no longer wedge a rank channel) and the
 removal of per-queue feeder threads, not single-stream message rate.
 """
 
+import gc
 import multiprocessing
 import time
 
@@ -107,8 +108,14 @@ def test_shm_transport_end_to_end_forked_producer():
             transport.push_many(0, batch)
 
     def pump(transport) -> float:
+        # Best-of-5: each rep pays a full fork (3-10 ms of the ~20 ms run on
+        # a small box), so the max over a few reps is the stable estimator.
+        # Collect before each rep so a generational GC pass triggered by the
+        # previous rep's message churn does not land inside the timed window
+        # (applied identically to both backends).
         best = float("inf")
-        for _ in range(3):
+        for _ in range(5):
+            gc.collect()
             process = _fork_mp().Process(target=producer, args=(transport,), daemon=True)
             began = time.perf_counter()
             process.start()
@@ -129,7 +136,7 @@ def test_shm_transport_end_to_end_forked_producer():
     finally:
         mp_transport.shutdown()
 
-    shm_transport = ShmRingTransport(1, num_clients=1, ring_slots=64,
+    shm_transport = ShmRingTransport(1, max_concurrent_clients=1, ring_slots=64,
                                      ring_slot_bytes=RING_SLOT_BYTES)
     try:
         ring_rate = pump(shm_transport)

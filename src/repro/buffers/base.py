@@ -12,7 +12,41 @@ from repro.utils.exceptions import BufferClosedError
 
 Array = np.ndarray
 
-__all__ = ["SampleRecord", "TrainingBuffer", "BufferClosedError"]
+__all__ = ["SampleRecord", "TrainingBuffer", "BufferClosedError", "contiguous_rows"]
+
+
+def contiguous_rows(arrays: List[Array]) -> Optional[Array]:
+    """Zero-copy ``(n, ...)`` view over rows that are physically consecutive.
+
+    The batched ingestion path hands every record of a drained chunk a view
+    into one shared block (the adopted payload block, the vectorized inputs
+    matrix).  When such records are later drawn *in order* — a FIFO batch,
+    or any batch that happens to preserve arrival adjacency — their rows
+    still sit back to back in memory, and stacking them for the nn forward
+    pass needs no copy at all: this helper detects that case and returns a
+    strided view over the underlying block.  Returns ``None`` whenever the
+    rows are not provably consecutive same-layout views of one base buffer
+    (the caller then falls back to a gathering copy).
+    """
+    first = arrays[0]
+    base = first.base
+    if base is None or not first.flags.c_contiguous:
+        return None
+    row_nbytes = first.nbytes
+    shape = first.shape
+    dtype = first.dtype
+    ptr = first.__array_interface__["data"][0]
+    for row in arrays[1:]:
+        if (row.base is not base or row.dtype is not dtype
+                or row.shape != shape or not row.flags.c_contiguous):
+            return None
+        next_ptr = row.__array_interface__["data"][0]
+        if next_ptr != ptr + row_nbytes:
+            return None
+        ptr = next_ptr
+    return np.lib.stride_tricks.as_strided(
+        first, shape=(len(arrays),) + shape, strides=(row_nbytes,) + first.strides
+    )
 
 
 @dataclass(frozen=True)
@@ -174,6 +208,14 @@ class TrainingBuffer:
         possibly fewer when a ``timeout`` is given and it expires while
         waiting for space — the caller can retry with the remaining suffix,
         which is what lets the aggregator's shutdown path stay responsive.
+
+        Ownership contract: the buffer *adopts* each record's arrays as-is —
+        no defensive copy is made on insertion, and the arrays may be views
+        into a block shared by the rest of the chunk (the zero-copy
+        ingestion path).  Callers must hand in records whose memory is
+        immutable for the record's lifetime; in exchange, a block stays
+        allocated until the last record viewing it is evicted (a bounded,
+        chunk-sized over-retention that buys the copy-free hot path).
 
         Raises :class:`BufferClosedError` when the buffer is (or becomes)
         closed, mirroring :meth:`put`.

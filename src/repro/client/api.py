@@ -90,6 +90,10 @@ class ClientAPI:
         The field is flattened and converted to float32 on the client, which is
         the preprocessing the paper performs in situ to avoid overloading the
         server.
+
+        Ownership: the message may keep a zero-copy view of ``field`` (when
+        it is already flat float32), so the caller must not mutate the array
+        after sending it — solvers hand over a freshly built field per step.
         """
         connection = self._require_connection()
         payload = np.asarray(field, dtype=np.float32).ravel()

@@ -63,6 +63,14 @@ class OnlineStudyConfig:
     #: runtime*, not its liveness, so it is opt-in (``None`` waits forever);
     #: set it only when an upper bound on one simulation's duration is known.
     client_process_timeout: Optional[float] = None
+    #: With process client mode (``"mp"``/``"shm"``), kill-and-restart a
+    #: client whose last server-observed activity (hello/time step/heartbeat)
+    #: is older than this many seconds — the paper's unresponsive-client
+    #: protocol, driven by the launcher through the shared heartbeat
+    #: monitor.  The restarted client resends and the server deduplicates;
+    #: kills are counted in ``TransportStats.unresponsive_kills``.
+    #: ``None`` disables the watchdog.
+    client_heartbeat_timeout: Optional[float] = None
 
     # Misc.
     batch_compute_delay: float = 0.0
@@ -92,6 +100,10 @@ class OnlineStudyConfig:
             raise ConfigurationError("ring_slot_bytes must be positive")
         if self.client_process_timeout is not None and self.client_process_timeout <= 0:
             raise ConfigurationError("client_process_timeout must be positive or None")
+        if self.client_heartbeat_timeout is not None and self.client_heartbeat_timeout <= 0:
+            raise ConfigurationError("client_heartbeat_timeout must be positive or None")
+        if self.max_concurrent_clients <= 0:
+            raise ConfigurationError("max_concurrent_clients must be positive")
 
     @property
     def lr_step_batches(self) -> int:

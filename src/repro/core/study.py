@@ -81,7 +81,8 @@ class OnlineStudy:
             validation=self.validation,
         )
 
-    def _build_launcher(self, router: Transport, specs: Sequence[ClientSpec]) -> Launcher:
+    def _build_launcher(self, router: Transport, specs: Sequence[ClientSpec],
+                        server: TrainingServer) -> Launcher:
         cfg = self.config
         solver_steps = self.case.solver_config.num_steps
 
@@ -102,8 +103,14 @@ class OnlineStudy:
             inter_series_delay=cfg.inter_series_delay,
             client_mode="process" if cfg.transport in ("mp", "shm") else "thread",
             process_join_timeout=cfg.client_process_timeout,
+            heartbeat_timeout=cfg.client_heartbeat_timeout,
         )
-        return Launcher(client_factory, specs, launcher_config)
+        # The server's aggregators feed the heartbeat monitor; handing it to
+        # the launcher closes the paper's loop: the server watches for
+        # unresponsive clients, the launcher kills and restarts them.
+        return Launcher(client_factory, specs, launcher_config,
+                        heartbeat_monitor=server.heartbeat_monitor,
+                        transport=router)
 
     # -------------------------------------------------------------------- run
     def run(self) -> OnlineStudyResult:
@@ -113,13 +120,16 @@ class OnlineStudy:
             cfg.transport,
             cfg.num_ranks,
             max_queue_size=cfg.transport_queue_size,
-            num_clients=cfg.num_simulations,
+            # The shm ring grid is a slot table sized by the launcher's
+            # concurrency bound, not the ensemble size: clients lease a ring
+            # at connect and release it once their finished marker lands.
+            max_concurrent_clients=cfg.max_concurrent_clients,
             ring_slots=cfg.ring_slots,
             ring_slot_bytes=cfg.ring_slot_bytes,
         )
         specs = self._build_specs()
         server = self._build_server(router)
-        launcher = self._build_launcher(router, specs)
+        launcher = self._build_launcher(router, specs, server)
 
         start = time.monotonic()
         try:

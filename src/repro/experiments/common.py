@@ -88,6 +88,7 @@ def online_config(
     transport_batch_size: int = 1,
     ring_slots: Optional[int] = None,
     ring_slot_bytes: Optional[int] = None,
+    client_heartbeat_timeout: Optional[float] = None,
 ) -> OnlineStudyConfig:
     """Online study configuration for one buffer policy and GPU count."""
     ring_overrides = {}
@@ -113,6 +114,7 @@ def online_config(
         seed=scale.seed,
         transport=transport,
         transport_batch_size=transport_batch_size,
+        client_heartbeat_timeout=client_heartbeat_timeout,
         **ring_overrides,
     )
 
@@ -130,13 +132,15 @@ def run_online_with_buffer(
     transport_batch_size: int = 1,
     ring_slots: Optional[int] = None,
     ring_slot_bytes: Optional[int] = None,
+    client_heartbeat_timeout: Optional[float] = None,
 ) -> OnlineStudyResult:
     """Run one online study with the given buffer policy and rank count."""
     scale = scale or default_scale()
     case = case or build_case(scale)
     config = online_config(scale, buffer_kind, num_ranks, use_series, max_batches,
                            transport=transport, transport_batch_size=transport_batch_size,
-                           ring_slots=ring_slots, ring_slot_bytes=ring_slot_bytes)
+                           ring_slots=ring_slots, ring_slot_bytes=ring_slot_bytes,
+                           client_heartbeat_timeout=client_heartbeat_timeout)
     if num_simulations is not None:
         config.num_simulations = num_simulations
         config.series_sizes = None

@@ -123,6 +123,9 @@ class ClientSpec:
     parameters: Array
     solver_params: object | None = None
     fail_at_step: Optional[int] = None
+    #: Fault injection: hang (stop sending, stay alive) after this many
+    #: steps — the failure mode the heartbeat watchdog exists to catch.
+    hang_at_step: Optional[int] = None
 
 
 @dataclass
@@ -149,8 +152,17 @@ class LauncherConfig:
         selected automatically by studies using the ``"mp"`` transport).
     process_join_timeout:
         In process mode, how long to wait for a client process before killing
-        it and treating it as failed (``None`` waits forever).  This is the
-        launcher-side guard the paper's server uses for unresponsive clients.
+        it and treating it as failed (``None`` waits forever).  This caps a
+        client's *total runtime*; liveness is the heartbeat deadline below.
+    heartbeat_timeout:
+        In process mode, kill a client process whose last server-observed
+        activity (hello/time step/heartbeat, tracked by the study's
+        :class:`~repro.server.fault.HeartbeatMonitor`) is older than this
+        many seconds — the paper's "watch for unresponsive clients, ask the
+        launcher to properly kill and restart" protocol.  The killed client
+        is restarted like a failed one (the server deduplicates the resend)
+        and the kill is counted in ``TransportStats.unresponsive_kills``.
+        ``None`` disables the watchdog.
     """
 
     series_sizes: Optional[Sequence[int]] = None
@@ -159,6 +171,7 @@ class LauncherConfig:
     max_restarts: int = 2
     client_mode: str = "thread"
     process_join_timeout: Optional[float] = None
+    heartbeat_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_concurrent_clients <= 0:
@@ -167,6 +180,8 @@ class LauncherConfig:
             raise ValueError("max_restarts must be non-negative")
         if self.client_mode not in ("thread", "process"):
             raise ValueError("client_mode must be 'thread' or 'process'")
+        if self.heartbeat_timeout is not None and self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive or None")
 
 
 @dataclass
@@ -176,6 +191,7 @@ class LauncherReport:
     clients_completed: int = 0
     clients_failed: int = 0
     restarts: int = 0
+    unresponsive_kills: int = 0
     series_boundaries: List[float] = field(default_factory=list)
     elapsed: float = 0.0
     per_client_steps: Dict[int, int] = field(default_factory=dict)
@@ -193,10 +209,19 @@ class Launcher:
         client_factory: Callable[[ClientSpec], SimulationClient],
         specs: Sequence[ClientSpec],
         config: LauncherConfig | None = None,
+        heartbeat_monitor: object | None = None,
+        transport: object | None = None,
     ) -> None:
         self.client_factory = client_factory
         self.specs = list(specs)
         self.config = config or LauncherConfig()
+        #: Liveness tracker shared with the server (fed by its aggregators);
+        #: required for the heartbeat watchdog in process client mode.
+        self.heartbeat_monitor = heartbeat_monitor
+        #: Transport backend, for kill accounting
+        #: (``record_unresponsive_kill``) and for recycling a dead client's
+        #: ring-slot lease (``release_client``) when restarts are exhausted.
+        self.transport = transport
         self.report = LauncherReport()
         self._thread: Optional[threading.Thread] = None
         self._started = False
@@ -254,6 +279,8 @@ class Launcher:
         client = self.client_factory(spec)
         if spec.fail_at_step is not None:
             client.fail_at_step = spec.fail_at_step
+        if spec.hang_at_step is not None:
+            client.hang_at_step = spec.hang_at_step
         attempts = 0
         while True:
             recv_conn, send_conn = context.Pipe(duplex=False)
@@ -265,14 +292,15 @@ class Launcher:
             )
             process.start()
             send_conn.close()
-            process.join(self.config.process_join_timeout)
-            if process.is_alive():
-                logger.warning("client %d unresponsive, killing process", spec.client_id)
-                process.kill()
-                process.join()
+            self._watch_client_process(spec, process)
             status, steps = "killed", 0
             if recv_conn.poll(0):
-                status, steps = recv_conn.recv()
+                try:
+                    status, steps = recv_conn.recv()
+                except EOFError:
+                    # A killed child closes the pipe without sending: poll()
+                    # reports the EOF as readable, but there is no result.
+                    pass
             recv_conn.close()
             if status == "ok":
                 return steps
@@ -291,6 +319,67 @@ class Launcher:
                     f"client {spec.client_id} exhausted its {self.config.max_restarts} restarts"
                 )
             client.prepare_restart()
+
+    def _watch_client_process(self, spec: ClientSpec, process) -> None:
+        """Join a client process under the runtime cap and heartbeat deadline.
+
+        Blocks until the process exits or is killed.  Two guards run while
+        waiting: ``process_join_timeout`` caps the total runtime, and
+        ``heartbeat_timeout`` kills a client whose last server-observed
+        activity (queried from the shared :class:`HeartbeatMonitor`) is too
+        old — a client that was never observed is judged by its runtime
+        instead, so a hang before the hello message is caught too.  A
+        heartbeat kill is counted in the report and in
+        ``TransportStats.unresponsive_kills``; the caller then restarts the
+        client like any failed one and the server deduplicates the resend.
+        """
+        heartbeat_timeout = self.config.heartbeat_timeout
+        if self.heartbeat_monitor is None:
+            heartbeat_timeout = None
+        runtime_cap = self.config.process_join_timeout
+        if heartbeat_timeout is None and runtime_cap is None:
+            process.join()
+            return
+        poll = 0.25
+        if heartbeat_timeout is not None:
+            poll = min(poll, heartbeat_timeout / 4)
+        started = time.monotonic()
+        deadline = None if runtime_cap is None else started + runtime_cap
+        while True:
+            process.join(poll)
+            if not process.is_alive():
+                return
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                logger.warning("client %d exceeded its runtime cap, killing process",
+                               spec.client_id)
+                break
+            if heartbeat_timeout is not None:
+                if self.heartbeat_monitor.is_finished(spec.client_id):
+                    continue  # done, just tearing down: never heartbeat-kill
+                silence = self.heartbeat_monitor.silence(spec.client_id, now=now)
+                if silence is None:
+                    # Never seen: judge by this attempt's runtime, with a 2x
+                    # grace — the client may legitimately be waiting for a
+                    # ring-slot lease or a slow solver warm-up before its
+                    # first message reaches the server.
+                    silence = (now - started) / 2
+                else:
+                    # A restarted attempt inherits the monitor record of its
+                    # dead predecessor; activity cannot predate this attempt.
+                    silence = min(silence, now - started)
+                if silence > heartbeat_timeout:
+                    logger.warning(
+                        "client %d missed its heartbeat deadline (silent %.1fs), "
+                        "killing process", spec.client_id, silence,
+                    )
+                    self.report.unresponsive_kills += 1
+                    recorder = getattr(self.transport, "record_unresponsive_kill", None)
+                    if recorder is not None:
+                        recorder()
+                    break
+        process.kill()
+        process.join()
 
     def run(self) -> LauncherReport:
         """Execute every series and return the report (blocking)."""
@@ -312,6 +401,11 @@ class Launcher:
                     except Exception:  # noqa: BLE001 - client exhausted its restarts
                         self.report.clients_failed += 1
                         logger.error("client %d permanently failed", spec.client_id)
+                        # Recycle the dead client's ring-slot lease so a
+                        # later ensemble member is not starved by it.
+                        release = getattr(self.transport, "release_client", None)
+                        if release is not None:
+                            release(spec.client_id)
                     else:
                         self.report.clients_completed += 1
                         self.report.per_client_steps[spec.client_id] = steps

@@ -20,7 +20,16 @@ instead of one pickle per message: the per-message headers carry only scalars
 and lengths, while every parameter tuple and every field payload is
 concatenated into two contiguous numeric blocks at the end of the buffer.
 ``unpack_many`` reads both blocks with a single zero-copy ``np.frombuffer``
-each and hands out array *views* into the batch buffer.
+each and hands out array *views* into the batch buffer (or, with
+``copy_payloads=True``, views into a single privately owned copy of the
+payload block that downstream consumers may adopt without copying again).
+
+Packing is zero-copy on the write side as well: :func:`plan_many` computes
+the exact packed size without producing bytes, and :func:`pack_many_into`
+writes the batch directly into a caller-provided buffer — the shm ring
+transport packs straight into the acquired ring slot, the mp backend into a
+reusable scratch buffer.  :func:`pack_many` is the standalone-buffer
+convenience wrapper over the same writer.
 """
 
 from __future__ import annotations
@@ -176,14 +185,65 @@ _FINISHED_HEADER = struct.Struct("<Bqq")
 _HEARTBEAT_HEADER = struct.Struct("<Bqdd")
 
 
-def pack_many(messages: Sequence[Message]) -> bytes:
-    """Serialise a batch of messages into one contiguous buffer.
+class BatchPlan:
+    """Precomputed layout of one packed batch (see :func:`plan_many`).
+
+    Planning and writing are split so callers can learn the exact packed
+    size *before* committing an output buffer — the shm ring transport picks
+    (and, if needed, splits toward) a ring slot from ``nbytes`` alone, then
+    packs straight into the slot's memoryview with :meth:`write_into`.
+    """
+
+    __slots__ = ("count", "header_bytes", "params", "payloads",
+                 "total_payload", "nbytes")
+
+    def __init__(self, count: int, header_bytes: bytes, params: List[float],
+                 payloads: List[Array], total_payload: int) -> None:
+        self.count = count
+        self.header_bytes = header_bytes  # per-type headers, padded to 8 B
+        self.params = params
+        self.payloads = payloads
+        self.total_payload = total_payload
+        self.nbytes = (_BATCH_HEADER.size + len(header_bytes)
+                       + 8 * len(params) + 4 * total_payload)
+
+    def write_into(self, buf, offset: int = 0) -> int:
+        """Write the packed batch at ``buf[offset:]``; returns bytes written.
+
+        ``buf`` is any writable buffer (bytearray, shared-memory memoryview).
+        The caller is responsible for bounds — :func:`pack_many_into` is the
+        checked public entry point.
+        """
+        _BATCH_HEADER.pack_into(
+            buf, offset,
+            WIRE_MAGIC, WIRE_VERSION, 0,
+            self.count, len(self.header_bytes),
+            len(self.params), self.total_payload,
+        )
+        cursor = offset + _BATCH_HEADER.size
+        end = cursor + len(self.header_bytes)
+        buf[cursor:end] = self.header_bytes
+        if self.params:
+            struct.pack_into(f"<{len(self.params)}d", buf, end, *self.params)
+            end += 8 * len(self.params)
+        if self.total_payload:
+            payload_out = np.frombuffer(buf, dtype=np.float32,
+                                        count=self.total_payload, offset=end)
+            if len(self.payloads) == 1:
+                payload_out[:] = self.payloads[0]
+            else:
+                np.concatenate(self.payloads, out=payload_out)
+        return self.nbytes
+
+
+def plan_many(messages: Sequence[Message]) -> BatchPlan:
+    """Lay out a batch for packing: headers now, numeric blocks on write.
 
     All parameter tuples are concatenated into a single float64 block and all
     time-step payloads into a single float32 block, so a batch costs one
-    buffer allocation regardless of its length.  Payloads are converted to
-    flat float32 (the client-side preprocessing contract) if they are not
-    already.
+    output buffer regardless of its length.  Payloads are converted to flat
+    float32 (the client-side preprocessing contract) if they are not already.
+
     """
     headers: List[bytes] = []
     params_flat: List[float] = []
@@ -233,36 +293,67 @@ def pack_many(messages: Sequence[Message]) -> bytes:
         else:
             raise WireFormatError(f"cannot pack message of type {kind.__name__}")
 
-    header_nbytes = sum(len(h) for h in headers)
-    padding = (-header_nbytes) % 8  # align the numeric blocks for frombuffer
+    header_bytes = b"".join(headers)
+    padding = (-len(header_bytes)) % 8  # align the numeric blocks for frombuffer
     if padding:
-        headers.append(b"\x00" * padding)
-    batch_header = _BATCH_HEADER.pack(
-        WIRE_MAGIC,
-        WIRE_VERSION,
-        0,
-        len(messages),
-        header_nbytes + padding,
-        len(params_flat),
-        total_payload,
-    )
-    params_block = np.asarray(params_flat, dtype=np.float64).tobytes()
-    if len(payload_parts) == 1:
-        payload_block = payload_parts[0].tobytes()
-    elif payload_parts:
-        payload_block = np.concatenate(payload_parts).tobytes()
-    else:
-        payload_block = b""
-    return b"".join([batch_header, *headers, params_block, payload_block])
+        header_bytes += b"\x00" * padding
+    return BatchPlan(len(messages), header_bytes, params_flat, payload_parts,
+                     total_payload)
 
 
-def unpack_many(buffer: bytes) -> List[Message]:
-    """Deserialise a buffer produced by :func:`pack_many`.
+def pack_many_into(messages: Sequence[Message], buf, offset: int = 0) -> int:
+    """Serialise a batch directly into ``buf[offset:]``; returns bytes written.
 
-    The two numeric blocks are read with one zero-copy ``np.frombuffer``
-    each; every ``TimeStepMessage.payload`` is a (read-only) float32 view
-    into the batch buffer, so unpacking a batch performs no per-message
+    The zero-copy counterpart of :func:`pack_many`: the batch header, the
+    per-type message headers and both numeric blocks are written straight
+    into the caller-provided buffer (a ring-slot memoryview, a reusable
+    scratch bytearray), skipping the intermediate ``bytes`` object entirely.
+    The written region is byte-for-byte identical to ``pack_many(messages)``.
+
+    Raises :class:`ValueError` when the buffer is too small — callers size
+    buffers from :func:`plan_many` (``plan.nbytes``) to avoid the double
+    planning pass.
+    """
+    plan = plan_many(messages)
+    room = len(buf) - offset
+    if offset < 0 or room < plan.nbytes:
+        raise ValueError(
+            f"packed batch needs {plan.nbytes} bytes, buffer has {max(room, 0)} "
+            f"(offset {offset})"
+        )
+    return plan.write_into(buf, offset)
+
+
+def pack_many(messages: Sequence[Message]) -> bytes:
+    """Serialise a batch of messages into one contiguous buffer.
+
+    Delegates to the same planner/writer as :func:`pack_many_into`; kept as
+    the convenience entry point for callers that want a standalone immutable
+    buffer (tests, the control-queue path).
+    """
+    plan = plan_many(messages)
+    out = bytearray(plan.nbytes)
+    plan.write_into(out, 0)
+    return bytes(out)
+
+
+def unpack_many(buffer, copy_payloads: bool = False) -> List[Message]:
+    """Deserialise a buffer produced by :func:`pack_many` / `pack_many_into`.
+
+    ``buffer`` is any bytes-like object, including a *borrowed* memoryview of
+    a shared-memory ring slot.  The two numeric blocks are read with one
+    zero-copy ``np.frombuffer`` each; every ``TimeStepMessage.payload`` is a
+    float32 view into the payload block, so unpacking performs no per-message
     payload copies.
+
+    Ownership contract: with ``copy_payloads=False`` the payload views
+    *borrow* the caller's buffer — they are valid only for as long as the
+    caller keeps the buffer alive and unmodified (a ring slot is reused as
+    soon as the read cursor advances).  With ``copy_payloads=True`` the
+    payload block is copied **once** into a freshly allocated array the
+    returned messages collectively own; the buffer can then be released or
+    overwritten immediately, and downstream consumers (the aggregator, the
+    training buffers) may adopt the payload views without copying again.
     """
     if len(buffer) < _BATCH_HEADER.size:
         raise WireFormatError(f"buffer too short for batch header ({len(buffer)} bytes)")
@@ -280,37 +371,65 @@ def unpack_many(buffer: bytes) -> List[Message]:
         raise WireFormatError(
             f"truncated batch: {len(buffer)} bytes, header promises {expected}"
         )
-    params_block = np.frombuffer(buffer, dtype=np.float64, count=total_params,
-                                 offset=params_offset)
+    # One list conversion for the whole batch: tuple slicing off a plain
+    # Python list is far cheaper than one ndarray slice + tolist per message.
+    params_list = np.frombuffer(buffer, dtype=np.float64, count=total_params,
+                                offset=params_offset).tolist()
     payload_block = np.frombuffer(buffer, dtype=np.float32, count=total_payload,
                                   offset=payload_offset)
+    if copy_payloads:
+        payload_block = payload_block.copy()  # one memcpy adopts every payload
 
     messages: List[Message] = []
-    offset = _BATCH_HEADER.size
+    append = messages.append
+    make_step = TimeStepMessage
+    step_size = _STEP_HEADER.size
     params_cursor = 0
     payload_cursor = 0
+
+    # Fast path: a homogeneous run of time-step headers (every hot-path ring
+    # batch) parses with one ``iter_unpack`` sweep instead of per-message
+    # ``unpack_from`` calls.  Verification is sequential, so the first
+    # non-step message in a size-colliding mixed batch lands its true type
+    # byte on a tuple boundary and is caught by the type check below.
+    if count and header_nbytes == (count * step_size + 7) // 8 * 8:
+        region = memoryview(buffer)[_BATCH_HEADER.size:
+                                    _BATCH_HEADER.size + count * step_size]
+        for tup in _STEP_HEADER.iter_unpack(region):
+            if tup[0] != _T_STEP:
+                break  # mixed batch after all: redo with the generic loop
+            (_, client_id, time_step, time_value, sequence_number,
+             n_params, payload_len) = tup
+            parameters = tuple(params_list[params_cursor:params_cursor + n_params])
+            params_cursor += n_params
+            payload = payload_block[payload_cursor:payload_cursor + payload_len]
+            payload_cursor += payload_len
+            append(make_step(client_id, time_step, time_value, parameters,
+                             payload, sequence_number))
+        else:
+            return messages
+        messages.clear()
+        params_cursor = 0
+        payload_cursor = 0
+
+    offset = _BATCH_HEADER.size
     step_unpack = _STEP_HEADER.unpack_from
-    step_size = _STEP_HEADER.size
     for _ in range(count):
         kind = buffer[offset]
         if kind == _T_STEP:
             (_, client_id, time_step, time_value, sequence_number,
              n_params, payload_len) = step_unpack(buffer, offset)
             offset += step_size
-            parameters = tuple(params_block[params_cursor:params_cursor + n_params].tolist())
+            parameters = tuple(params_list[params_cursor:params_cursor + n_params])
             params_cursor += n_params
             payload = payload_block[payload_cursor:payload_cursor + payload_len]
             payload_cursor += payload_len
-            messages.append(
-                TimeStepMessage(
-                    client_id=client_id,
-                    time_step=time_step,
-                    time_value=time_value,
-                    parameters=parameters,
-                    payload=payload,
-                    sequence_number=sequence_number,
-                )
-            )
+            # Positional construction: keyword binding costs ~2x on this, the
+            # only per-message allocation of the hot unpack loop.  Field
+            # order: client_id, time_step, time_value, parameters, payload,
+            # sequence_number.
+            append(make_step(client_id, time_step, time_value, parameters,
+                             payload, sequence_number))
         elif kind == _T_HELLO:
             (_, client_id, n_params, num_time_steps, restart_count, ndim) = (
                 _HELLO_HEADER.unpack_from(buffer, offset)
@@ -321,7 +440,7 @@ def unpack_many(buffer: bytes) -> List[Message]:
                 for index in range(ndim)
             )
             offset += ndim * _SHAPE_DIM.size
-            parameters = tuple(params_block[params_cursor:params_cursor + n_params].tolist())
+            parameters = tuple(params_list[params_cursor:params_cursor + n_params])
             params_cursor += n_params
             messages.append(
                 ClientHello(

@@ -8,23 +8,31 @@ leave held forever, wedging every other pusher to that rank.
 
 This module replaces the hot channel with a fixed-capacity
 **single-producer/single-consumer ring buffer** over
-``multiprocessing.shared_memory``.  One ring exists per (client, server-rank)
-pair — SPSC by construction, because a client streams to each rank from
-exactly one process at a time — and carries the existing
-:func:`repro.parallel.messages.pack_many` wire format unchanged:
+``multiprocessing.shared_memory``.  One ring exists per (ring slot,
+server-rank) pair — SPSC by construction, because a slot is leased by
+exactly one client at a time and a client streams to each rank from exactly
+one process — and carries the packed wire format of
+:mod:`repro.parallel.messages` written **in place**:
 
-* Every slot holds one packed batch behind a 16-byte header: a **sequence
-  word** doubling as the commit flag, and the batch length.
-* The writer publishes a batch in four ordered stores: write-begin marker
-  (odd sequence), payload bytes, length, commit (even sequence) — and only
-  then advances the shared ``writer_cursor``.  A SIGKILL at *any* point
-  before the cursor store leaves the cursor unchanged, so the reader simply
-  never observes the torn slot: **one batch is lost, nothing wedges**.  There
-  are no cross-process locks on the data path at all.
-* The stale write-begin marker left behind by a killed writer is detected by
-  the restarted writer when it reuses the slot (the marker equals the odd
-  sequence it is about to write), counted in the ring's ``torn_batches``
-  counter and surfaced through :class:`TransportStats`.
+* Every ring slot holds one packed batch behind a 16-byte header: a
+  **sequence word** doubling as the commit flag, and the batch length.
+* The writer *reserves* the slot (odd write-begin marker), packs the batch
+  straight into the slot's memoryview with
+  :meth:`repro.parallel.messages.BatchPlan.write_into` (no intermediate
+  ``bytes``), then commits: length, even commit word, and only then the
+  shared ``writer_cursor``.  A SIGKILL at *any* point before the cursor
+  store leaves the cursor unchanged, so the reader simply never observes
+  the torn slot: **one batch is lost, nothing wedges**.  There are no
+  cross-process locks on the data path at all.
+* The stale write-begin marker left behind by a killed writer is detected
+  by the restarted writer when it reuses the slot (the marker equals the
+  odd sequence it is about to write), counted in the ring's
+  ``torn_batches`` counter and surfaced through :class:`TransportStats`.
+* The reader *borrows* a committed slot as a memoryview
+  (:meth:`ShmRing.try_read_view`), deserialises it in place with
+  ``unpack_many(view, copy_payloads=True)`` — one block copy adopts every
+  payload — and only then advances the read cursor, so the slot is never
+  recycled under a live view.
 * Readers use a **busy-wait-then-park hybrid wakeup**: a short spin (the
   common case — data arrives within microseconds under load), then a parked
   wait on a per-rank ``multiprocessing.Semaphore`` gated by a
@@ -32,6 +40,16 @@ exactly one process at a time — and carries the existing
   actually parked.  A semaphore rather than a ``Condition`` because a post
   is one atomic operation with no critical section: a writer SIGKILLed
   mid-notify cannot orphan anything.
+
+**Slot-table multiplexing**: the ring grid is sized by
+``max_concurrent_clients`` — the launcher's concurrency bound — not by the
+ensemble size.  A client leases a ring slot at :meth:`connect` (or lazily on
+its first push) and the slot is recycled once every rank has delivered the
+client's ``ClientFinished``; a paper-scale ensemble of hundreds of
+simulations therefore needs only as many rings as run concurrently.  The
+lease table lives in shared memory (owner and refcount words under one
+``mp.Lock``); leasing is a rare control-path operation, and the per-process
+slot cache keeps it off the hot push path.
 
 Control messages (hello/heartbeat/finished) stay on the bounded per-rank
 ``mp.Queue`` of the parent class: they are rare, they are not on the
@@ -63,18 +81,19 @@ import queue
 import struct
 import time
 from multiprocessing import shared_memory
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from repro.parallel.messages import (
+    BatchPlan,
     ClientFinished,
     Message,
     TimeStepMessage,
     WireFormatError,
-    pack_many,
+    plan_many,
     unpack_many,
 )
 from repro.parallel.mp_transport import MultiprocessTransport
-from repro.parallel.transport import RouterClosed, TransportStats
+from repro.parallel.transport import Connection, RouterClosed, TransportStats
 from repro.utils.logging import get_logger
 
 logger = get_logger("parallel.shm_ring")
@@ -104,17 +123,40 @@ _MAGIC_WORD = struct.Struct("<IHH")
 
 #: Busy-wait budget before parking on the condition / sleeping (seconds).
 DEFAULT_SPIN_WAIT = 2e-4
+
+#: Spinning is only productive when the writer can run *while* the reader
+#: spins.  On a single-CPU box the spin merely steals the writer's
+#: timeslice (the reader burns the core checking for data the writer is not
+#: being scheduled to produce), so the reader parks immediately instead.
+_MULTI_CORE = (os.cpu_count() or 1) > 1
+
+#: Single-core park interval.  Parking on the wakeup semaphore is wrong on
+#: one CPU: every commit would wake (and usually preempt) the reader, which
+#: drains the single fresh batch, parks again, and forces two context
+#: switches per batch.  A short timed nap instead lets the writer run
+#: uninterrupted until the ring has accumulated a full sweep's worth of
+#: batches, which the reader then drains in one pass.
+_SINGLE_CORE_PARK = 5e-4
 #: Writer back-off while the ring is full (the reader is busy; sub-ms poll).
-_FULL_RING_BACKOFF = 5e-4
+#: Kept short on single-core boxes: there the reader naps on a timer while
+#: the ring is *empty*, and a long writer back-off overlapping that nap is
+#: dead time for both sides (a retry probe costs ~1 µs, so waking often is
+#: cheap).
+_FULL_RING_BACKOFF = 5e-4 if (os.cpu_count() or 1) > 1 else 1e-4
 
 DEFAULT_RING_SLOTS = 16
 DEFAULT_RING_SLOT_BYTES = 64 * 1024
 
-#: Upper bound on one transport's ring segment.  The grid allocates
-#: ranks x clients rings upfront, so a paper-scale ensemble with the default
-#: geometry would silently claim gigabytes of /dev/shm; fail fast with an
-#: actionable message instead (slot-table multiplexing is the ROADMAP
-#: follow-up that lifts this).
+#: How long a connecting client waits for a free ring-slot lease before
+#: giving up with an actionable error.  Leases free as soon as every rank
+#: has delivered the previous owner's ``ClientFinished``, so under a
+#: correctly sized ``max_concurrent_clients`` the wait is milliseconds.
+DEFAULT_LEASE_TIMEOUT = 30.0
+
+#: Upper bound on one transport's ring segment.  The slot table allocates
+#: ranks x max_concurrent_clients rings upfront; with the grid scaling by
+#: concurrency rather than ensemble size this guard only trips on
+#: pathological geometry, and the fix is named in the message.
 MAX_SEGMENT_BYTES = 1 << 30
 
 #: How many times the reader re-polls a slot whose commit word lags the
@@ -129,9 +171,17 @@ class ShmRing:
 
     The ring does not own its memory: it operates on a ``memoryview`` slice
     of a :class:`multiprocessing.shared_memory.SharedMemory` block (see
-    :class:`ShmRingTransport`, which packs one ring per (client, rank) pair
+    :class:`ShmRingTransport`, which packs one ring per (slot, rank) pair
     into a single segment).  All mutable state lives inside the view, so a
     forked child and its parent observe the same cursors.
+
+    Two write APIs exist: :meth:`try_write`/:meth:`write` copy a prepared
+    buffer into the slot, and :meth:`try_reserve`/:meth:`reserve` +
+    :meth:`commit_write` hand the slot's memoryview to the caller so the
+    payload can be *produced* in place (the zero-copy pack path).  Reads are
+    symmetric: :meth:`try_read` copies the batch out, while
+    :meth:`try_read_view` + :meth:`finish_read` lend the committed slot to
+    the caller and recycle it only after the read is finished.
     """
 
     def __init__(self, buf: memoryview, num_slots: int, slot_bytes: int,
@@ -147,6 +197,8 @@ class ShmRing:
         self.num_slots = int(num_slots)
         self.slot_bytes = int(slot_bytes)
         self._stride = SLOT_HEADER_BYTES + self.slot_bytes
+        self._reserved: Optional[tuple] = None  # (writer, slot offset, reader)
+        self._pending_read = -1  # reader cursor of the borrowed slot
         if create:
             buf[:expected] = bytes(expected)
             _MAGIC_WORD.pack_into(buf, _HDR_MAGIC, RING_MAGIC, RING_VERSION, 0)
@@ -176,39 +228,110 @@ class ShmRing:
         return RING_HEADER_BYTES + (cursor % self.num_slots) * self._stride
 
     # ----------------------------------------------------------------- writer
-    def try_write(self, data: bytes) -> bool:
-        """Publish one batch; False when the ring is full (never blocks).
+    def try_reserve(self, length: int) -> Optional[memoryview]:
+        """Claim the next slot for an in-place write of ``length`` bytes.
 
-        The commit protocol stores, in order: the odd write-begin marker, the
-        payload, the length, the even commit word, and finally the writer
-        cursor.  Crashing between any two stores leaves the cursor
-        unpublished, so the reader never sees the torn slot.
+        Stores the odd write-begin marker and returns a writable memoryview
+        of the slot's payload region; the caller fills it and publishes with
+        :meth:`commit_write` (or backs out with :meth:`abort_write`).
+        Returns ``None`` when the ring is full; never blocks.
         """
-        length = len(data)
         if length > self.slot_bytes:
             raise ValueError(
                 f"batch of {length} bytes exceeds the {self.slot_bytes}-byte ring slot"
             )
-        writer = self._load(_HDR_WRITER_CURSOR)
-        reader = self._load(_HDR_READER_CURSOR)
+        # Word accesses are inlined (no _load/_store calls): this runs once
+        # per published batch and the call overhead is measurable there.
+        buf = self._buf
+        load, store = _U64.unpack_from, _U64.pack_into
+        writer = load(buf, _HDR_WRITER_CURSOR)[0]
+        reader = load(buf, _HDR_READER_CURSOR)[0]
         if writer - reader >= self.num_slots:
-            return False
+            return None
         offset = self._slot_offset(writer)
         begin_marker = 2 * writer + 1
-        if self._load(offset + _SLOT_SEQ) == begin_marker:
+        if load(buf, offset + _SLOT_SEQ)[0] == begin_marker:
             # A previous incarnation of this writer died mid-write in this
             # very slot (its cursor was never advanced): count the torn batch
             # the restarted writer is about to overwrite.
-            self._store(_HDR_WRITER_TORN, self._load(_HDR_WRITER_TORN) + 1)
-        self._store(offset + _SLOT_SEQ, begin_marker)
+            store(buf, _HDR_WRITER_TORN, load(buf, _HDR_WRITER_TORN)[0] + 1)
+        store(buf, offset + _SLOT_SEQ, begin_marker)
+        self._reserved = (writer, offset, reader)
         payload_at = offset + SLOT_HEADER_BYTES
-        self._buf[payload_at : payload_at + length] = data
-        self._store(offset + _SLOT_LENGTH, length)
-        self._store(offset + _SLOT_SEQ, 2 * writer + 2)  # commit flag
-        self._store(_HDR_WRITER_CURSOR, writer + 1)
+        return buf[payload_at : payload_at + length]
+
+    def commit_write(self, length: int) -> None:
+        """Publish the reserved slot: length, commit word, writer cursor."""
+        writer, offset, reader = self._reserved
+        self._reserved = None
+        buf = self._buf
+        store = _U64.pack_into
+        store(buf, offset + _SLOT_LENGTH, length)
+        store(buf, offset + _SLOT_SEQ, 2 * writer + 2)  # commit flag
+        store(buf, _HDR_WRITER_CURSOR, writer + 1)
         depth = writer + 1 - reader
-        if depth > self._load(_HDR_HIGH_WATER):
-            self._store(_HDR_HIGH_WATER, depth)
+        if depth > _U64.unpack_from(buf, _HDR_HIGH_WATER)[0]:
+            store(buf, _HDR_HIGH_WATER, depth)
+
+    def abort_write(self) -> None:
+        """Back out of a reservation (clears the write-begin marker)."""
+        if self._reserved is not None:
+            _writer, offset, _reader = self._reserved
+            self._reserved = None
+            self._store(offset + _SLOT_SEQ, 0)
+
+    def reserve(
+        self,
+        length: int,
+        timeout: Optional[float] = None,
+        should_abort: Optional[Callable[[], bool]] = None,
+    ) -> Optional[memoryview]:
+        """Blocking :meth:`try_reserve`: spin briefly, then sleep-poll for room.
+
+        Returns ``None`` on timeout or when ``should_abort`` fires; the
+        caller decides between ``queue.Full`` and :class:`RouterClosed`
+        semantics.  A full ring means the reader is saturated, so the writer
+        back-off is a plain sub-millisecond sleep — there is nothing to wake
+        it earlier.
+        """
+        view = self.try_reserve(length)
+        if view is not None:
+            return view
+        start = time.monotonic()
+        deadline = None if timeout is None else start + timeout
+        # A full ring frees only when the reader runs; spinning for it is
+        # pointless on a single-CPU box (see _MULTI_CORE).
+        spin_until = start + DEFAULT_SPIN_WAIT if _MULTI_CORE else start
+        while True:
+            if should_abort is not None and should_abort():
+                return None
+            if time.monotonic() >= spin_until:
+                break
+            view = self.try_reserve(length)
+            if view is not None:
+                return view
+        while True:
+            view = self.try_reserve(length)
+            if view is not None:
+                return view
+            if should_abort is not None and should_abort():
+                return None
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                return None
+            pause = _FULL_RING_BACKOFF
+            if deadline is not None:
+                pause = min(pause, max(deadline - now, 0.0))
+            time.sleep(pause)
+
+    def try_write(self, data: bytes) -> bool:
+        """Copy one prepared batch in; False when the ring is full."""
+        view = self.try_reserve(len(data))
+        if view is None:
+            return False
+        view[:] = data
+        view.release()
+        self.commit_write(len(data))
         return True
 
     def write(
@@ -217,41 +340,23 @@ class ShmRing:
         timeout: Optional[float] = None,
         should_abort: Optional[Callable[[], bool]] = None,
     ) -> bool:
-        """Blocking :meth:`try_write`: spin briefly, then sleep-poll for room.
-
-        Returns False on timeout or when ``should_abort`` fires; the caller
-        decides between ``queue.Full`` and :class:`RouterClosed` semantics.
-        A full ring means the reader is saturated, so the writer back-off is
-        a plain sub-millisecond sleep — there is nothing to wake it earlier.
-        """
-        if self.try_write(data):
-            return True
-        start = time.monotonic()
-        deadline = None if timeout is None else start + timeout
-        spin_until = start + DEFAULT_SPIN_WAIT
-        while True:
-            if should_abort is not None and should_abort():
-                return False
-            if time.monotonic() >= spin_until:
-                break
-            if self.try_write(data):
-                return True
-        while True:
-            if self.try_write(data):
-                return True
-            if should_abort is not None and should_abort():
-                return False
-            now = time.monotonic()
-            if deadline is not None and now >= deadline:
-                return False
-            pause = _FULL_RING_BACKOFF
-            if deadline is not None:
-                pause = min(pause, max(deadline - now, 0.0))
-            time.sleep(pause)
+        """Blocking :meth:`try_write` over :meth:`reserve`."""
+        view = self.reserve(len(data), timeout=timeout, should_abort=should_abort)
+        if view is None:
+            return False
+        view[:] = data
+        view.release()
+        self.commit_write(len(data))
+        return True
 
     # ----------------------------------------------------------------- reader
-    def try_read(self) -> Optional[bytes]:
-        """Pop the next committed batch; ``None`` when the ring is empty.
+    def try_read_view(self) -> Optional[memoryview]:
+        """Borrow the next committed batch in place; ``None`` when empty.
+
+        The returned memoryview aliases the ring slot: it stays valid only
+        until :meth:`finish_read` recycles the slot, so the caller must
+        consume (or copy out of) the view *before* finishing the read —
+        and must release the view so the shared segment can be closed.
 
         A published slot whose commit word or length does not match cannot
         happen under the SPSC protocol on a TSO machine; on weakly-ordered
@@ -259,25 +364,40 @@ class ShmRing:
         briefly and only then skipped — counted in ``torn_batches`` instead
         of wedging the reader on garbage.
         """
+        buf = self._buf
+        load = _U64.unpack_from
         while True:
-            reader = self._load(_HDR_READER_CURSOR)
-            if self._load(_HDR_WRITER_CURSOR) <= reader:
+            reader = load(buf, _HDR_READER_CURSOR)[0]
+            if load(buf, _HDR_WRITER_CURSOR)[0] <= reader:
                 return None
             offset = self._slot_offset(reader)
             committed_seq = 2 * reader + 2
             for _ in range(_COMMIT_LAG_RETRIES):
-                length = self._load(offset + _SLOT_LENGTH)
-                committed = self._load(offset + _SLOT_SEQ) == committed_seq
+                length = load(buf, offset + _SLOT_LENGTH)[0]
+                committed = load(buf, offset + _SLOT_SEQ)[0] == committed_seq
                 if committed and length <= self.slot_bytes:
                     break
             if committed and length <= self.slot_bytes:
                 payload_at = offset + SLOT_HEADER_BYTES
-                data = bytes(self._buf[payload_at : payload_at + length])
-                self._store(_HDR_READER_CURSOR, reader + 1)
-                return data
+                self._pending_read = reader
+                return buf[payload_at : payload_at + length]
             logger.warning("skipping corrupt ring slot at cursor %d", reader)
             self._store(_HDR_READER_TORN, self._load(_HDR_READER_TORN) + 1)
             self._store(_HDR_READER_CURSOR, reader + 1)
+
+    def finish_read(self) -> None:
+        """Recycle the slot borrowed by :meth:`try_read_view`."""
+        self._store(_HDR_READER_CURSOR, self._pending_read + 1)
+
+    def try_read(self) -> Optional[bytes]:
+        """Pop the next committed batch as an owned copy; ``None`` when empty."""
+        view = self.try_read_view()
+        if view is None:
+            return None
+        data = bytes(view)
+        view.release()
+        self.finish_read()
+        return data
 
     # ------------------------------------------------------------------ state
     @property
@@ -303,23 +423,28 @@ class ShmRing:
 class ShmRingTransport(MultiprocessTransport):
     """Multi-process transport whose hot rank channels are shared-memory rings.
 
-    One :class:`ShmRing` per (client, server-rank) pair carries the packed
-    time-step batches; the bounded per-rank ``mp.Queue`` of the parent class
-    is kept for control messages only (register/heartbeat/finished), which
-    are rare and need multi-producer ordering.  All rings live in **one**
-    shared-memory segment created by the server process and inherited by the
-    forked clients, so there is nothing to name, attach or clean up per
-    client.
+    One :class:`ShmRing` per (ring slot, server-rank) pair carries the
+    packed time-step batches; the bounded per-rank ``mp.Queue`` of the
+    parent class is kept for control messages only (register/heartbeat/
+    finished), which are rare and need multi-producer ordering.  All rings
+    live in **one** shared-memory segment created by the server process and
+    inherited by the forked clients, so there is nothing to name, attach or
+    clean up per client.
 
     Parameters
     ----------
     num_server_ranks:
         Number of server ranks (one aggregator thread each).
-    num_clients:
-        Ring capacity in clients: client ids ``0..num_clients-1`` get a
-        dedicated ring per rank.  Messages from ids outside that range (or
-        non-time-step messages) fall back to the control queue, so the
-        transport stays functional for ad-hoc callers.
+    max_concurrent_clients:
+        Size of the ring-slot table: how many clients can hold a ring lease
+        simultaneously.  A client leases a slot at :meth:`connect` (blocking
+        up to ``lease_timeout`` for one to free) or lazily on its first
+        push (non-blocking); the slot is recycled once every rank has
+        delivered the client's ``ClientFinished``.  Size it to the
+        launcher's concurrency bound — the ensemble size is irrelevant.
+        Messages from clients that hold no lease (and find no free slot)
+        fall back to the control queue, so the transport stays functional
+        for ad-hoc callers.
     ring_slots / ring_slot_bytes:
         Geometry of every ring: ``ring_slots`` batches of at most
         ``ring_slot_bytes`` packed bytes.  A batch that outgrows a slot is
@@ -330,35 +455,36 @@ class ShmRingTransport(MultiprocessTransport):
     def __init__(
         self,
         num_server_ranks: int,
-        num_clients: int = 8,
+        max_concurrent_clients: int = 8,
         max_queue_size: int = 10_000,
         ring_slots: int = DEFAULT_RING_SLOTS,
         ring_slot_bytes: int = DEFAULT_RING_SLOT_BYTES,
         spin_wait: float = DEFAULT_SPIN_WAIT,
+        lease_timeout: float = DEFAULT_LEASE_TIMEOUT,
     ) -> None:
         super().__init__(num_server_ranks, max_queue_size=max_queue_size)
-        if num_clients <= 0:
-            raise ValueError("num_clients must be positive")
+        if max_concurrent_clients <= 0:
+            raise ValueError("max_concurrent_clients must be positive")
         if ring_slots <= 0:
             raise ValueError("ring_slots must be positive")
         if ring_slot_bytes <= 0:
             raise ValueError("ring_slot_bytes must be positive")
-        self.num_clients = int(num_clients)
+        self.max_concurrent_clients = int(max_concurrent_clients)
         self.ring_slots = int(ring_slots)
         self.ring_slot_bytes = int(-(-ring_slot_bytes // 8) * 8)  # 8-byte aligned slots
         self.spin_wait = float(spin_wait)
+        self.lease_timeout = float(lease_timeout)
 
         ring_bytes = ShmRing.layout_bytes(self.ring_slots, self.ring_slot_bytes)
-        total = self.num_server_ranks * self.num_clients * ring_bytes
+        total = self.num_server_ranks * self.max_concurrent_clients * ring_bytes
         if total > MAX_SEGMENT_BYTES:
             raise ValueError(
                 f"shm ring grid needs {total / 2**20:.0f} MiB "
-                f"({num_server_ranks} ranks x {num_clients} clients x "
+                f"({num_server_ranks} ranks x {max_concurrent_clients} leases x "
                 f"{ring_bytes / 2**10:.0f} KiB/ring), above the "
                 f"{MAX_SEGMENT_BYTES // 2**20} MiB guard; shrink "
-                "ring_slots/ring_slot_bytes or the client count "
-                "(slot-table multiplexing for paper-scale ensembles is a "
-                "ROADMAP follow-up)"
+                "ring_slots/ring_slot_bytes or max_concurrent_clients "
+                "(the slot table scales with concurrency, not ensemble size)"
             )
         try:
             self._shm = shared_memory.SharedMemory(create=True, size=total)
@@ -372,11 +498,25 @@ class ShmRingTransport(MultiprocessTransport):
         self._rings: List[List[ShmRing]] = []
         for rank in range(self.num_server_ranks):
             row = []
-            for client in range(self.num_clients):
-                begin = (rank * self.num_clients + client) * ring_bytes
+            for slot in range(self.max_concurrent_clients):
+                begin = (rank * self.max_concurrent_clients + slot) * ring_bytes
                 view = self._shm.buf[begin : begin + ring_bytes]
                 row.append(ShmRing(view, self.ring_slots, self.ring_slot_bytes, create=True))
             self._rings.append(row)
+        # Ring-slot lease table: one owner word and one release refcount per
+        # slot, shared by every forked client, guarded by one lock.  Leasing
+        # happens at connect (rare), so the lock is never on the data path;
+        # the per-process ``_slot_cache`` keeps lookups off it entirely.
+        self._table_lock = mp.Lock()
+        self._slot_owner = mp.RawArray("q", [-1] * self.max_concurrent_clients)
+        self._slot_refs = mp.RawArray("q", self.max_concurrent_clients)
+        #: Lease generation counter per slot, bumped on every fresh claim:
+        #: the server's duplicate-finished guard is keyed by (client, gen),
+        #: so a client re-leasing after a fully delivered finished (killed
+        #: post-finalize, restarted, resent) gets a fresh dedup key and its
+        #: new lease can still be released.
+        self._slot_gen = mp.RawArray("q", self.max_concurrent_clients)
+        self._slot_cache: Dict[int, int] = {}
         # Reader wakeup: one semaphore per rank, posted by writers only when
         # the rank's reader advertises that it is parked.  A semaphore (one
         # atomic post, no critical section) is kill-safe where a Condition is
@@ -389,22 +529,132 @@ class ShmRingTransport(MultiprocessTransport):
         self._deferred_finished: List[List[ClientFinished]] = [
             [] for _ in range(self.num_server_ranks)
         ]
+        # (server-side, per rank) (client, lease-generation) pairs whose
+        # finished already released a lease reference — guards the refcount
+        # against duplicate finished messages resent within one lease by a
+        # client restarted after its finalize.
+        self._released_finished: List[Set[tuple]] = [
+            set() for _ in range(self.num_server_ranks)
+        ]
         self._qsize_broken = False  # macOS: mp.Queue.qsize is unimplemented
 
-    # ----------------------------------------------------------------- client
-    def _ring_for(self, rank: int, message: Message) -> Optional[ShmRing]:
-        """The hot-path ring for a message, or ``None`` for the control queue."""
-        if type(message) is TimeStepMessage and 0 <= message.client_id < self.num_clients:
-            return self._rings[rank][message.client_id]
+    # ------------------------------------------------------------ slot leases
+    def connect(self, client_id: int, batch_size: int = 1) -> Connection:
+        """Lease a ring slot for ``client_id``, then connect as usual.
+
+        Blocks up to ``lease_timeout`` for a slot to free (slots recycle as
+        soon as every rank delivered the previous owner's finished marker);
+        a client restarted after a crash finds and reuses its own live
+        lease.  Raises :class:`RouterClosed` if the transport closes while
+        waiting and ``TimeoutError`` when the table stays full — which means
+        more clients run concurrently than ``max_concurrent_clients``.
+        """
+        self._lease_slot(int(client_id), block=True)
+        return super().connect(client_id, batch_size=batch_size)
+
+    def _lease_slot(self, client_id: int, block: bool) -> Optional[int]:
+        if client_id < 0:
+            # Negative ids would alias the free-slot sentinel (-1) in the
+            # owner table; such callers stay on the control queue.
+            if block:
+                raise ValueError("client_id must be non-negative to lease a ring slot")
+            return None
+        deadline = time.monotonic() + self.lease_timeout
+        while True:
+            with self._table_lock:
+                owner = self._slot_owner
+                for slot in range(self.max_concurrent_clients):
+                    if owner[slot] == client_id:
+                        # Reuse path (restart mid-lease).  A client killed in
+                        # the window between finalize and exit leaves its
+                        # finished markers in flight; when they deliver, the
+                        # lease frees mid-restream and the client simply
+                        # re-leases a free slot on its next push — a benign
+                        # re-route, never a wedge or a leak.
+                        self._slot_cache[client_id] = slot
+                        return slot
+                for slot in range(self.max_concurrent_clients):
+                    if owner[slot] == -1:
+                        owner[slot] = client_id
+                        self._slot_refs[slot] = self.num_server_ranks
+                        self._slot_gen[slot] += 1
+                        self._slot_cache[client_id] = slot
+                        return slot
+            if not block:
+                return None
+            if self._closed.is_set():
+                raise RouterClosed("transport closed while waiting for a ring slot")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"client {client_id} found no free ring slot within "
+                    f"{self.lease_timeout:.0f}s: more than "
+                    f"max_concurrent_clients={self.max_concurrent_clients} clients "
+                    "are connected at once; raise "
+                    "OnlineStudyConfig.max_concurrent_clients (the ring grid "
+                    "scales with it) or finish/release clients faster"
+                )
+            time.sleep(0.002)
+
+    def _slot_for_push(self, client_id: int) -> Optional[int]:
+        """The client's leased ring slot, validating the per-process cache."""
+        slot = self._slot_cache.get(client_id)
+        if slot is not None and self._slot_owner[slot] == client_id:
+            return slot
+        if slot is not None:
+            del self._slot_cache[client_id]
+        return self._lease_slot(client_id, block=False)
+
+    def _slot_of(self, client_id: int) -> Optional[int]:
+        with self._table_lock:
+            owner = self._slot_owner
+            for slot in range(self.max_concurrent_clients):
+                if owner[slot] == client_id:
+                    return slot
         return None
 
+    def _release_lease_ref(self, rank: int, client_id: int) -> None:
+        """One rank delivered ``client_id``'s finished marker; maybe recycle."""
+        released = self._released_finished[rank]
+        with self._table_lock:
+            owner = self._slot_owner
+            for slot in range(self.max_concurrent_clients):
+                if owner[slot] == client_id:
+                    key = (client_id, self._slot_gen[slot])
+                    if key in released:
+                        return  # duplicate finished within this lease
+                    released.add(key)
+                    refs = self._slot_refs[slot] - 1
+                    if refs <= 0:
+                        owner[slot] = -1
+                        self._slot_refs[slot] = 0
+                    else:
+                        self._slot_refs[slot] = refs
+                    return
+
+    def release_client(self, client_id: int) -> None:
+        """Force-free a dead client's lease (launcher gave up on restarts).
+
+        Undrained batches still in the client's rings stay readable — every
+        message carries its client id, so attribution does not depend on the
+        lease — but the slot becomes available to the next client
+        immediately.
+        """
+        with self._table_lock:
+            owner = self._slot_owner
+            for slot in range(self.max_concurrent_clients):
+                if owner[slot] == client_id:
+                    owner[slot] = -1
+                    self._slot_refs[slot] = 0
+        self._slot_cache.pop(client_id, None)
+
+    # ----------------------------------------------------------------- client
     def push_many(self, rank: int, messages: List[Message],
                   timeout: float | None = None) -> None:
-        """Route a batch: time steps to their client's ring, the rest queued.
+        """Route a batch: time steps to their client's leased ring, rest queued.
 
-        A client's data batch is homogeneous (one client, all time steps), so
-        the common case is a single packed ring write.  Mixed batches are
-        split into maximal ring-eligible runs to preserve order.
+        A client's data batch is homogeneous (one client, all time steps) —
+        that fast path is a single in-place packed ring write.  Mixed batches
+        are split into maximal ring-eligible runs to preserve order.
         """
         self._check_rank(rank)
         if not messages:
@@ -412,9 +662,32 @@ class ShmRingTransport(MultiprocessTransport):
         if self._closed.is_set():
             self._shared.record_dropped(len(messages))
             raise RouterClosed("transport is closed")
+        first = messages[0]
+        if type(first) is TimeStepMessage:
+            client_id = first.client_id
+            for message in messages:
+                if type(message) is not TimeStepMessage or message.client_id != client_id:
+                    break
+            else:
+                slot = self._slot_for_push(client_id)
+                if slot is None:
+                    super().push_many(rank, messages, timeout=timeout)
+                    self._notify(rank)
+                else:
+                    self._write_ring(rank, self._rings[rank][slot], messages, timeout)
+                return
+        self._push_runs(rank, messages, timeout)
+
+    def _push_runs(self, rank: int, messages: List[Message],
+                   timeout: float | None) -> None:
         runs: List[tuple[Optional[ShmRing], List[Message]]] = []
+        rings = self._rings[rank]
         for message in messages:
-            ring = self._ring_for(rank, message)
+            ring: Optional[ShmRing] = None
+            if type(message) is TimeStepMessage:
+                slot = self._slot_for_push(message.client_id)
+                if slot is not None:
+                    ring = rings[slot]
             if runs and runs[-1][0] is ring:
                 runs[-1][1].append(message)
             else:
@@ -434,14 +707,18 @@ class ShmRingTransport(MultiprocessTransport):
                 raise
 
     def _ring_chunks(self, ring: ShmRing,
-                     run: List[Message]) -> List[tuple[List[Message], bytes]]:
-        """Pack ``run`` into slot-sized buffers, splitting in half as needed."""
-        buffer = pack_many(run)
-        if len(buffer) <= ring.slot_bytes:
-            return [(run, buffer)]
+                     run: List[Message]) -> List[tuple[List[Message], BatchPlan]]:
+        """Plan ``run`` into slot-sized batches, splitting in half as needed.
+
+        Planning is size-only (no bytes are produced): the actual packing
+        happens straight into the reserved ring slot.
+        """
+        plan = plan_many(run)
+        if plan.nbytes <= ring.slot_bytes:
+            return [(run, plan)]
         if len(run) == 1:
             raise WireFormatError(
-                f"one packed message of {len(buffer)} bytes exceeds the "
+                f"one packed message of {plan.nbytes} bytes exceeds the "
                 f"{ring.slot_bytes}-byte ring slot; raise "
                 "OnlineStudyConfig.ring_slot_bytes"
             )
@@ -455,14 +732,23 @@ class ShmRingTransport(MultiprocessTransport):
         except WireFormatError:
             self._shared.record_dropped(len(run))
             raise
-        for index, (chunk, buffer) in enumerate(chunks):
-            ok = ring.write(buffer, timeout=timeout, should_abort=self._closed.is_set)
-            if not ok:
+        for index, (chunk, plan) in enumerate(chunks):
+            view = ring.reserve(plan.nbytes, timeout=timeout,
+                                should_abort=self._closed.is_set)
+            if view is None:
                 self._shared.record_dropped(sum(len(c) for c, _ in chunks[index:]))
                 if self._closed.is_set():
                     raise RouterClosed("transport is closed")
                 raise queue.Full
-            self._shared.record_batch(rank, len(chunk), len(buffer))
+            try:
+                plan.write_into(view, 0)  # pack straight into the ring slot
+            except BaseException:
+                ring.abort_write()
+                raise
+            finally:
+                view.release()
+            ring.commit_write(plan.nbytes)
+            self._shared.record_batch(rank, len(chunk), plan.nbytes)
             self._notify(rank)
 
     def _notify(self, rank: int) -> None:
@@ -501,26 +787,32 @@ class ShmRingTransport(MultiprocessTransport):
                 # and re-drain instead of giving up on a non-empty channel.
                 time.sleep(min(5e-5, deadline - now))
             else:
-                spin_until = min(deadline, now + self.spin_wait)
                 parked = True
-                while time.monotonic() < spin_until:  # busy-wait: data is near
-                    if self._ready(rank):
-                        parked = False
-                        break
+                if _MULTI_CORE:
+                    spin_until = min(deadline, now + self.spin_wait)
+                    while time.monotonic() < spin_until:  # busy-wait: data is near
+                        if self._ready(rank):
+                            parked = False
+                            break
                 if parked:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         return messages
-                    waiting.value = 1
-                    try:
-                        while wakeup.acquire(False):
-                            pass  # drop stale posts before parking
-                        if not self._ready(rank):
-                            # Bounded so control messages are still seen on
-                            # platforms where _ready cannot probe the queue.
-                            wakeup.acquire(True, min(remaining, 0.05))
-                    finally:
-                        waiting.value = 0
+                    if not _MULTI_CORE:
+                        # Timed nap (no semaphore, no writer-side posts): the
+                        # writer keeps its timeslice and batches accumulate.
+                        time.sleep(min(remaining, _SINGLE_CORE_PARK))
+                    else:
+                        waiting.value = 1
+                        try:
+                            while wakeup.acquire(False):
+                                pass  # drop stale posts before parking
+                            if not self._ready(rank):
+                                # Bounded so control messages are still seen on
+                                # platforms where _ready cannot probe the queue.
+                                wakeup.acquire(True, min(remaining, 0.05))
+                        finally:
+                            waiting.value = 0
             self._drain(rank, messages, max_messages)
             if messages:
                 return messages
@@ -544,6 +836,14 @@ class ShmRingTransport(MultiprocessTransport):
         self._release_finished(rank, out, max_messages)
 
     def _drain_control(self, rank: int, out: List[Message], max_messages: int) -> None:
+        if not self._qsize_broken:
+            # Cheap emptiness probe: the common no-control-traffic sweep
+            # costs one sem_getvalue instead of a queue.Empty exception.
+            try:
+                if self._queues[rank].qsize() == 0:
+                    return
+            except (NotImplementedError, OSError):  # pragma: no cover - macOS
+                self._qsize_broken = True
         while len(out) < max_messages:
             batch = self._get_batch(rank, None)
             if batch is None:
@@ -556,6 +856,8 @@ class ShmRingTransport(MultiprocessTransport):
                     # this rank is empty: it must not overtake the data.
                     self._deferred_finished[rank].append(message)
                 else:
+                    if isinstance(message, ClientFinished):
+                        self._release_lease_ref(rank, message.client_id)
                     self._absorb(rank, out, [message], max_messages)
 
     def _drain_rings(self, rank: int, out: List[Message], max_messages: int) -> None:
@@ -566,20 +868,25 @@ class ShmRingTransport(MultiprocessTransport):
             for ring in rings:
                 if len(out) >= max_messages:
                     return
-                if not ring.depth:
-                    continue
-                buffer = ring.try_read()
-                if buffer is None:
+                view = ring.try_read_view()  # None doubles as the empty probe
+                if view is None:
                     continue
                 progressed = True
+                batch: Optional[List[Message]] = None
                 try:
-                    batch = unpack_many(buffer)
-                except WireFormatError:
+                    # In-place deserialisation of the borrowed slot; the one
+                    # payload-block copy transfers ownership to the messages,
+                    # so the slot can be recycled immediately after.
+                    batch = unpack_many(view, copy_payloads=True)
+                except (WireFormatError, struct.error):
                     logger.warning("rank %d: discarding unparsable ring batch", rank,
                                    exc_info=True)
                     self._shared.record_dropped(1)
-                    continue
-                self._absorb(rank, out, batch, max_messages)
+                finally:
+                    view.release()
+                    ring.finish_read()
+                if batch is not None:
+                    self._absorb(rank, out, batch, max_messages)
 
     def _release_finished(self, rank: int, out: List[Message], max_messages: int) -> None:
         deferred = self._deferred_finished[rank]
@@ -588,15 +895,17 @@ class ShmRingTransport(MultiprocessTransport):
         still_waiting: List[ClientFinished] = []
         for message in deferred:
             if len(out) < max_messages and self._client_drained(rank, message.client_id):
+                self._release_lease_ref(rank, message.client_id)
                 self._absorb(rank, out, [message], max_messages)
             else:
                 still_waiting.append(message)
         self._deferred_finished[rank] = still_waiting
 
     def _client_drained(self, rank: int, client_id: int) -> bool:
-        if 0 <= client_id < self.num_clients:
-            return self._rings[rank][client_id].depth == 0
-        return True
+        slot = self._slot_of(client_id)
+        if slot is None:
+            return True
+        return self._rings[rank][slot].depth == 0
 
     def pending(self, rank: int) -> int:
         """Leftovers plus queued control batches plus ring batches."""

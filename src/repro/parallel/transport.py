@@ -46,6 +46,8 @@ class TransportStats:
     ``torn_batches`` (batches lost to a writer killed mid-write) and
     ``ring_depth_high_water`` (deepest observed backlog per rank, in
     batches); both stay at their defaults on the other backends.
+    ``unresponsive_kills`` counts client processes the launcher terminated
+    for missing their heartbeat deadline (process client mode only).
     """
 
     messages_routed: int = 0
@@ -54,6 +56,7 @@ class TransportStats:
     dropped_messages: int = 0
     torn_batches: int = 0
     ring_depth_high_water: Dict[int, int] = field(default_factory=dict)
+    unresponsive_kills: int = 0
 
     def record(self, rank: int, nbytes: int) -> None:
         self.messages_routed += 1
@@ -73,6 +76,13 @@ class Transport:
     """
 
     num_server_ranks: int
+
+    #: Ownership contract of polled messages: when True, every payload array
+    #: handed out by :meth:`poll_many` is owned by the message (retaining it
+    #: does not pin a transport buffer that will be reused or that holds
+    #: unrelated data), so consumers may adopt the views without copying.
+    #: Backends that hand out borrowed views must leave this False.
+    payloads_owned = False
 
     # ----------------------------------------------------------------- client
     def connect(self, client_id: int, batch_size: int = 1) -> "Connection":
@@ -104,6 +114,9 @@ class Transport:
     def _record_dropped(self, count: int) -> None:
         """Add ``count`` messages to the drop counter (backend-specific store)."""
         raise NotImplementedError
+
+    def record_unresponsive_kill(self) -> None:
+        """Count one launcher-side kill of an unresponsive client (optional)."""
 
     # ----------------------------------------------------------------- server
     def poll(self, rank: int, timeout: float | None = 0.05) -> Optional[Message]:
@@ -167,6 +180,10 @@ class MessageRouter(Transport):
         the queue is full, mimicking ZMQ's high-water-mark back-pressure.
     """
 
+    #: In-process messages are handed over by reference: the payload array a
+    #: client created belongs to the message object itself.
+    payloads_owned = True
+
     def __init__(self, num_server_ranks: int, max_queue_size: int = 10_000) -> None:
         if num_server_ranks <= 0:
             raise ValueError("num_server_ranks must be positive")
@@ -178,6 +195,10 @@ class MessageRouter(Transport):
         self._closed = threading.Event()
         self._stats_lock = threading.Lock()
         self._stats = TransportStats()
+
+    def record_unresponsive_kill(self) -> None:
+        with self._stats_lock:
+            self._stats.unresponsive_kills += 1
 
     # ----------------------------------------------------------------- client
     def push(self, rank: int, message: Message, timeout: float | None = None) -> None:
@@ -327,7 +348,7 @@ def make_transport(
     kind: str,
     num_server_ranks: int,
     max_queue_size: int = 10_000,
-    num_clients: int = 8,
+    max_concurrent_clients: int = 8,
     ring_slots: Optional[int] = None,
     ring_slot_bytes: Optional[int] = None,
 ) -> Transport:
@@ -337,9 +358,12 @@ def make_transport(
     multi-process backend carrying packed batches over ``multiprocessing``
     queues; ``"shm"`` keeps the ``mp`` control queues but moves the hot
     time-step channels onto shared-memory SPSC rings, one per
-    (client, server-rank) pair — ``num_clients`` sizes that ring grid and
-    ``ring_slots``/``ring_slot_bytes`` its per-ring geometry (``None`` keeps
-    the backend defaults).
+    (ring-slot lease, server-rank) pair — ``max_concurrent_clients`` sizes
+    that slot table (clients lease a ring at connect and release it when
+    their ``ClientFinished`` is delivered, so the grid scales with the
+    *concurrency*, not the ensemble size) and ``ring_slots``/
+    ``ring_slot_bytes`` set the per-ring geometry (``None`` keeps the
+    backend defaults).
     """
     if kind == "inproc":
         return MessageRouter(num_server_ranks, max_queue_size=max_queue_size)
@@ -356,7 +380,7 @@ def make_transport(
 
         return ShmRingTransport(
             num_server_ranks,
-            num_clients=num_clients,
+            max_concurrent_clients=max_concurrent_clients,
             max_queue_size=max_queue_size,
             ring_slots=DEFAULT_RING_SLOTS if ring_slots is None else ring_slots,
             ring_slot_bytes=(DEFAULT_RING_SLOT_BYTES if ring_slot_bytes is None

@@ -23,6 +23,8 @@ from repro.utils.logging import get_logger
 
 logger = get_logger("server.aggregator")
 
+Array = np.ndarray
+
 
 @dataclass
 class AggregatorStats:
@@ -90,6 +92,13 @@ class DataAggregator:
         self.stats = AggregatorStats()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        # Ownership contract with the transport: when the backend guarantees
+        # that polled payloads are message-owned (see
+        # ``Transport.payloads_owned``), records adopt the payload views
+        # directly — the one batched copy already happened at
+        # deserialisation time.  Otherwise payload views are copied out
+        # defensively before they enter the buffer.
+        self._adopt_payloads = bool(getattr(router, "payloads_owned", False))
 
     # -------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -141,28 +150,88 @@ class DataAggregator:
     def _handle_many(self, messages: List[Message]) -> None:
         """Process one drained chunk: bulk-insert samples, dispatch control.
 
-        Consecutive time-step messages are converted and inserted with a
-        single ``put_many``.  Pending samples are flushed before a
+        Consecutive time-step messages are converted **as one batch** (one
+        vectorized inputs matrix, payload views adopted without per-message
+        copies — see :meth:`_records_from_steps`) and inserted with a single
+        ``put_many``.  Pending samples are flushed before a
         ``ClientFinished`` so that the message which may flip the buffer into
         drain mode always observes every sample received before it; other
         control messages (hello, heartbeat) never touch the buffer and are
         dispatched without fragmenting the bulk insert.
         """
-        records: List[SampleRecord] = []
-        sizes: List[int] = []
+        steps: List[TimeStepMessage] = []
         for message in messages:
             if isinstance(message, TimeStepMessage):
-                record = self._record_from_time_step(message)
-                if record is not None:
-                    records.append(record)
-                    sizes.append(message.nbytes())
+                steps.append(message)
             else:
-                if records and isinstance(message, ClientFinished):
-                    self._flush(records, sizes)
-                    records, sizes = [], []
+                if steps and isinstance(message, ClientFinished):
+                    self._flush(*self._records_from_steps(steps))
+                    steps = []
                 self._handle_control(message)
-        if records:
-            self._flush(records, sizes)
+        if steps:
+            self._flush(*self._records_from_steps(steps))
+
+    def _records_from_steps(
+        self, steps: List[TimeStepMessage]
+    ) -> tuple[List[SampleRecord], List[int]]:
+        """Convert a run of time-step messages into records, batch-wise.
+
+        Deduplication and liveness bookkeeping stay per message; the
+        allocations do not: all ``(X, t)`` input vectors of the run land in
+        one float32 matrix built with a single ``np.asarray`` call (records
+        hold row views), and payloads are **adopted** — the transport already
+        copied the chunk's payload block once at deserialisation, so the
+        views go straight into the records with no further copying.  With a
+        transport that hands out borrowed or foreign views instead, each
+        payload is copied out defensively, as before.
+        """
+        monitor = self.heartbeat_monitor
+        register = self.message_log.register
+        seen = self.stats.clients_seen
+        fresh: List[TimeStepMessage] = []
+        for message in steps:
+            seen.add(message.client_id)
+            if monitor is not None:
+                monitor.touch(message.client_id, progress=float(message.time_step))
+            if register(message.client_id, message.time_step):
+                fresh.append(message)
+            else:
+                self.stats.duplicates_discarded += 1
+        if not fresh:
+            return [], []
+
+        n_params = len(fresh[0].parameters)
+        if all(len(m.parameters) == n_params for m in fresh):
+            flat: List[float] = []
+            for message in fresh:
+                flat.extend(message.parameters)
+                flat.append(message.time_value)
+            inputs = np.asarray(flat, dtype=np.float32)
+            input_rows: List[Array] = list(inputs.reshape(len(fresh), n_params + 1))
+        else:  # mixed ensembles: fall back to per-message input vectors
+            input_rows = [message.sample_input() for message in fresh]
+
+        adopt = self._adopt_payloads
+        records: List[SampleRecord] = []
+        sizes: List[int] = []
+        for row, message in zip(input_rows, fresh):
+            target = message.payload
+            if target.dtype != np.float32:
+                target = np.asarray(target, dtype=np.float32)
+            if not adopt and target.base is not None:
+                # Borrowed view (e.g. into a shared transport buffer): a
+                # buffer-resident record must not pin or alias it.
+                target = target.copy()
+            records.append(
+                SampleRecord(
+                    inputs=row,
+                    target=target,
+                    source_id=message.client_id,
+                    time_step=message.time_step,
+                )
+            )
+            sizes.append(message.nbytes())
+        return records, sizes
 
     def _flush(self, records: List[SampleRecord], sizes: List[int]) -> None:
         """Insert ``records`` into the buffer, staying responsive to stop().
@@ -189,26 +258,6 @@ class DataAggregator:
             self.stats.samples_received += inserted
             self.stats.bytes_received += sum(sizes[offset : offset + inserted])
             offset += inserted
-
-    def _record_from_time_step(self, message: TimeStepMessage) -> Optional[SampleRecord]:
-        """Convert a time-step message to a sample; None for duplicates."""
-        self.stats.clients_seen.add(message.client_id)
-        if self.heartbeat_monitor is not None:
-            self.heartbeat_monitor.touch(message.client_id, progress=float(message.time_step))
-        if not self.message_log.register(message.client_id, message.time_step):
-            self.stats.duplicates_discarded += 1
-            return None
-        target = np.asarray(message.payload, dtype=np.float32)
-        if target.base is not None:
-            # Unpacked payloads are views into their whole packed transport
-            # batch; a buffer-resident record must not pin that batch alive.
-            target = target.copy()
-        return SampleRecord(
-            inputs=message.sample_input(),
-            target=target,
-            source_id=message.client_id,
-            time_step=message.time_step,
-        )
 
     def _handle(self, message: Message) -> None:
         """Process a single message (kept for tests and external callers)."""

@@ -100,6 +100,26 @@ class HeartbeatMonitor:
             )
             record.finished = True
 
+    def silence(self, client_id: int, now: float | None = None) -> float | None:
+        """Seconds since ``client_id``'s last observed activity.
+
+        ``None`` when the client was never seen (it may still be starting
+        up) or has already finished; the launcher's watchdog asks
+        :meth:`is_finished` to tell the two apart.
+        """
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            record = self._clients.get(client_id)
+            if record is None or record.finished:
+                return None
+            return now - record.last_seen
+
+    def is_finished(self, client_id: int) -> bool:
+        """True once the client's ``ClientFinished`` was observed."""
+        with self._lock:
+            record = self._clients.get(client_id)
+            return record is not None and record.finished
+
     def unresponsive_clients(self, now: float | None = None) -> List[Tuple[int, float]]:
         """(client_id, silence duration) of clients exceeding the timeout."""
         now = time.monotonic() if now is None else now

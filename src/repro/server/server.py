@@ -107,6 +107,11 @@ class ServerResult:
         """Samples/second summed across all server ranks."""
         return throughput_from_summary(self.summary)
 
+    @property
+    def unresponsive_kills(self) -> int:
+        """Clients the launcher killed for missing their heartbeat deadline."""
+        return int(getattr(self.transport_stats, "unresponsive_kills", 0))
+
 
 class TrainingServer:
     """Drives aggregation and data-parallel training for one online study."""

@@ -16,7 +16,7 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.buffers.base import SampleRecord, TrainingBuffer
+from repro.buffers.base import SampleRecord, TrainingBuffer, contiguous_rows
 from repro.buffers.stats import OccurrenceTracker
 from repro.core.metrics import TrainingMetrics
 from repro.nn.losses import Loss, MSELoss
@@ -94,14 +94,25 @@ class TrainingWorker:
 
     # ------------------------------------------------------------------ batch
     def _stack_batch(self, batch: List[SampleRecord]) -> tuple[Array, Array]:
-        """Copy a batch into the preallocated staging arrays.
+        """Stack a batch for the forward pass, without copying when possible.
 
-        Returns views of length ``len(batch)``; the arrays are overwritten by
-        the next call, which is safe because forward/backward of one batch
-        complete before the next batch is stacked.
+        Records produced by the batched ingestion path hold row views into
+        shared per-chunk blocks; a batch drawn in arrival order (FIFO, or
+        any draw preserving adjacency) is therefore already contiguous in
+        memory and is handed to the nn forward pass as a **zero-copy**
+        strided view.  Other batches are gathered into the preallocated
+        float32 staging arrays, which are overwritten by the next call —
+        safe because forward/backward of one batch complete before the next
+        batch is stacked (the same lifetime the zero-copy views rely on).
         """
         count = len(batch)
         first = batch[0]
+        if first.inputs.dtype == np.float32 and first.target.dtype == np.float32:
+            inputs = contiguous_rows([record.inputs for record in batch])
+            if inputs is not None:
+                targets = contiguous_rows([record.target for record in batch])
+                if targets is not None:
+                    return inputs, targets
         input_shape = np.shape(first.inputs)
         target_shape = np.shape(first.target)
         if (

@@ -56,7 +56,7 @@ def stream_steps(transport, client_id, num_steps, step_delay=0.0, batch_size=1):
 
 @pytest.fixture
 def transport():
-    transport = ShmRingTransport(num_server_ranks=1, num_clients=2,
+    transport = ShmRingTransport(num_server_ranks=1, max_concurrent_clients=2,
                                  ring_slots=32, ring_slot_bytes=8192)
     yield transport
     transport.shutdown()
@@ -170,7 +170,7 @@ def test_client_process_killed_mid_stream_then_restart_dedup(transport):
 def test_slow_reader_drop_accounting_matches_transport_stats():
     """With no reader draining, a bounded push times out on the full ring
     and every dropped message lands in ``TransportStats.dropped_messages``."""
-    transport = ShmRingTransport(num_server_ranks=1, num_clients=1,
+    transport = ShmRingTransport(num_server_ranks=1, max_concurrent_clients=1,
                                  ring_slots=2, ring_slot_bytes=4096)
     try:
         message = TimeStepMessage(client_id=0, time_step=0, payload=FIELD)
@@ -218,7 +218,7 @@ def test_finished_never_overtakes_ring_data(transport):
 
 
 def test_oversized_batches_split_and_oversized_message_raises():
-    transport = ShmRingTransport(num_server_ranks=1, num_clients=1,
+    transport = ShmRingTransport(num_server_ranks=1, max_concurrent_clients=1,
                                  ring_slots=8, ring_slot_bytes=512)
     try:
         big = np.arange(64, dtype=np.float32)  # 4 packed messages > 512 B
@@ -241,8 +241,107 @@ def test_oversized_batches_split_and_oversized_message_raises():
         transport.shutdown()
 
 
+# ------------------------------------------------------------- slot leases
+def test_slot_lease_connect_finish_recycles():
+    """Two lease slots serve four sequential clients: connect leases, the
+    delivered finished marker releases, and the next client reuses the slot."""
+    transport = ShmRingTransport(num_server_ranks=1, max_concurrent_clients=2,
+                                 ring_slots=8, ring_slot_bytes=4096,
+                                 lease_timeout=5.0)
+    try:
+        for client_id in range(4):
+            connection = transport.connect(client_id)
+            slot = transport._slot_of(client_id)
+            assert slot is not None
+            connection.send_round_robin(
+                TimeStepMessage(client_id=client_id, time_step=0, payload=FIELD)
+            )
+            transport.push(0, ClientFinished(client_id=client_id, total_sent=1))
+            received = []
+            while len(received) < 2:
+                received.extend(transport.poll_many(0, max_messages=8, timeout=1.0))
+            assert isinstance(received[-1], ClientFinished)
+            # Finished delivered on the only rank: the lease is recycled.
+            assert transport._slot_of(client_id) is None
+        # Four clients fit through two slots; no torn/dropped traffic.
+        assert transport.stats.dropped_messages == 0
+        assert transport.stats.torn_batches == 0
+    finally:
+        transport.shutdown()
+
+
+def test_slot_lease_exhaustion_raises_actionable_error():
+    transport = ShmRingTransport(num_server_ranks=1, max_concurrent_clients=1,
+                                 ring_slots=4, ring_slot_bytes=4096,
+                                 lease_timeout=0.2)
+    try:
+        transport.connect(0)
+        began = time.monotonic()
+        with pytest.raises(TimeoutError, match="max_concurrent_clients"):
+            transport.connect(1)
+        assert time.monotonic() - began < DEADLINE
+    finally:
+        transport.shutdown()
+
+
+def test_slot_lease_killed_client_restart_reuses_its_lease(transport):
+    """A client killed mid-lease still owns its slot; the restarted
+    incarnation (same client id) finds and reuses it instead of leaking it."""
+    process = _fork_mp().Process(
+        target=stream_steps, args=(transport, 0, NUM_STEPS),
+        kwargs={"step_delay": 0.01, "batch_size": 4}, daemon=True,
+    )
+    process.start()
+    assert wait_until(lambda: transport._slot_of(0) is not None), \
+        "client never leased a slot"
+    slot_before = transport._slot_of(0)
+    process.kill()
+    process.join(DEADLINE)
+
+    assert transport._slot_of(0) == slot_before  # lease survives the kill
+    restarted = _fork_mp().Process(target=stream_steps,
+                                   args=(transport, 0, NUM_STEPS),
+                                   kwargs={"batch_size": 4}, daemon=True)
+    restarted.start()
+    restarted.join(DEADLINE)
+    assert restarted.exitcode == 0
+    assert transport._slot_of(0) == slot_before or transport._slot_of(0) is None
+
+    drained: list = []
+    deadline = time.monotonic() + DEADLINE
+    while time.monotonic() < deadline:
+        chunk = transport.poll_many(0, max_messages=64, timeout=0.1)
+        drained.extend(chunk)
+        if any(isinstance(m, ClientFinished) for m in chunk):
+            break
+    assert any(isinstance(m, ClientFinished) for m in drained)
+    # Finished delivered on the single rank: the lease is recycled for good.
+    assert transport._slot_of(0) is None
+
+
+def test_slot_lease_force_release_recycles_a_dead_clients_slot():
+    """``release_client`` (the launcher's permanent-failure path) frees the
+    slot immediately, and the next client can lease it."""
+    transport = ShmRingTransport(num_server_ranks=1, max_concurrent_clients=1,
+                                 ring_slots=4, ring_slot_bytes=4096,
+                                 lease_timeout=0.2)
+    try:
+        transport.connect(7)
+        transport.push(0, TimeStepMessage(client_id=7, time_step=0, payload=FIELD))
+        transport.release_client(7)
+        assert transport._slot_of(7) is None
+        transport.connect(8)  # no TimeoutError: the slot is free again
+        # The dead client's undrained batch is still delivered (attribution
+        # travels in the message, not the lease).
+        received = transport.poll_many(0, max_messages=8, timeout=1.0)
+        assert any(isinstance(m, TimeStepMessage) and m.client_id == 7
+                   for m in received)
+    finally:
+        transport.shutdown()
+
+
 def test_push_after_close_counts_dropped():
-    transport = ShmRingTransport(num_server_ranks=1, num_clients=1)
+    transport = ShmRingTransport(num_server_ranks=1, max_concurrent_clients=1)
     try:
         message = TimeStepMessage(client_id=0, time_step=0, payload=FIELD)
         transport.push(0, message)

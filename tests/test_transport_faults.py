@@ -287,20 +287,34 @@ def test_corrupt_batch_buffer_is_dropped_not_fatal(transport):
 
 
 def test_buffered_records_do_not_pin_the_packed_batch(transport):
-    """Aggregated samples own their bytes instead of holding the whole packed
-    transport batch alive through a numpy view."""
+    """Aggregated samples never alias the wire buffer.
+
+    The transport's deserialisation copies the payload block **once**
+    (``unpack_many(..., copy_payloads=True)``); the aggregator then adopts
+    the resulting views without further copies, so every record of the chunk
+    shares one privately owned block — and none of them reference the packed
+    transport buffer, which can be released immediately.
+    """
+    import numpy as np
+
     from repro.parallel.messages import pack_many, unpack_many
 
     aggregator, buffer = make_aggregator(transport)
-    batch = unpack_many(pack_many(
+    wire_buffer = pack_many(
         [TimeStepMessage(client_id=0, time_step=step, payload=FIELD)
          for step in range(4)]
-    ))
+    )
+    batch = unpack_many(wire_buffer, copy_payloads=True)
     aggregator._handle_many(batch)
     records = buffer.get_batch(4, timeout=1.0)
     assert len(records) == 4
+    wire = np.frombuffer(wire_buffer, dtype=np.uint8)
     for record in records:
-        assert record.target.base is None and record.target.flags.owndata
+        assert not np.shares_memory(record.target, wire)
+    # One batched copy, not four: the records share a single adopted block.
+    block = records[0].target.base
+    assert block is not None
+    assert all(record.target.base is block for record in records)
 
 
 # ------------------------------------------------------------ batched sends

@@ -63,5 +63,39 @@ def test_shm_study_trains_and_matches_inproc_sample_counts(smoke_scale):
     assert stats.dropped_messages == 0
     assert stats.torn_batches == 0
     assert stats.bytes_routed > 0
+    assert stats.unresponsive_kills == 0
     assert stats.ring_depth_high_water
     assert max(stats.ring_depth_high_water.values()) >= 1
+
+
+def test_shm_study_with_more_simulations_than_ring_slots(smoke_scale):
+    """The slot table multiplexes an ensemble larger than the ring grid.
+
+    Six simulations stream over a grid sized for two concurrent clients:
+    clients lease a ring at connect, the lease recycles when the finished
+    marker lands on every rank, and the study delivers exactly the inproc
+    sample counts — the paper's client counts no longer size the segment.
+    """
+    scale = replace(smoke_scale, num_simulations=6, max_concurrent_clients=2)
+    case = build_case(scale)
+    expected_unique = scale.num_simulations * scale.num_steps
+
+    shm_result = run_online_with_buffer(
+        "fifo", scale=scale, case=case, use_series=False,
+        transport="shm", transport_batch_size=4,
+        ring_slots=8, ring_slot_bytes=16_384,
+    )
+    inproc_result = run_online_with_buffer(
+        "fifo", scale=scale, case=case, use_series=False,
+    )
+
+    for result, label in ((shm_result, "shm"), (inproc_result, "inproc")):
+        received = sum(s.samples_received for s in result.server.aggregator_stats)
+        assert received == expected_unique, label
+        assert result.launcher.clients_completed == scale.num_simulations, label
+        assert result.launcher.clients_failed == 0, label
+
+    stats = shm_result.server.transport_stats
+    assert stats.messages_routed == expected_unique + 2 * scale.num_simulations
+    assert stats.dropped_messages == 0
+    assert stats.torn_batches == 0

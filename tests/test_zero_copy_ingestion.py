@@ -1,0 +1,194 @@
+"""The view-based ingestion chain: adopt once, read in place everywhere else.
+
+Pins the copy-ownership contract end to end: ``unpack_many`` adopts a packed
+batch's payloads with one block copy, the aggregator builds records that
+*view* shared per-chunk blocks (no per-message copies), the buffers adopt
+those views as-is, and ``TrainingWorker._stack_batch`` hands an
+arrival-ordered batch to the forward pass as a zero-copy strided view.
+"""
+
+import numpy as np
+
+from repro.buffers import FIFOBuffer, FIROBuffer
+from repro.buffers.base import SampleRecord, contiguous_rows
+from repro.parallel.messages import TimeStepMessage, pack_many, unpack_many
+from repro.parallel.transport import MessageRouter
+from repro.server.aggregator import DataAggregator
+from repro.server.fault import MessageLog
+
+FIELD_LEN = 12
+
+
+def make_steps(count, client_id=0, start=0):
+    return [
+        TimeStepMessage(
+            client_id=client_id,
+            time_step=start + index,
+            time_value=(start + index) * 0.1,
+            parameters=(1.0, 2.0, 3.0),
+            payload=np.arange(FIELD_LEN, dtype=np.float32) + start + index,
+            sequence_number=start + index,
+        )
+        for index in range(count)
+    ]
+
+
+def make_aggregator(buffer):
+    router = MessageRouter(num_server_ranks=1)
+    return DataAggregator(
+        rank=0, router=router, buffer=buffer, expected_clients=1, message_log=MessageLog()
+    )
+
+
+# ----------------------------------------------------------------- adoption
+def test_adopted_chunk_shares_one_payload_block_and_one_inputs_matrix():
+    buffer = FIFOBuffer(capacity=64)
+    aggregator = make_aggregator(buffer)
+    steps = unpack_many(pack_many(make_steps(10)), copy_payloads=True)
+    aggregator._handle_many(list(steps))
+    records = buffer.get_batch(10, timeout=1.0)
+    assert len(records) == 10
+
+    target_base = records[0].target.base
+    inputs_base = records[0].inputs.base
+    assert target_base is not None and inputs_base is not None
+    for record in records:
+        assert record.target.base is target_base  # one adopted payload block
+        assert record.inputs.base is inputs_base  # one vectorized inputs matrix
+        assert record.inputs.dtype == np.float32
+    # Content is intact through the no-copy chain.
+    for index, record in enumerate(records):
+        expected_target = np.arange(FIELD_LEN, dtype=np.float32) + index
+        np.testing.assert_array_equal(record.target, expected_target)
+        expected = np.asarray([1.0, 2.0, 3.0, index * 0.1], dtype=np.float32)
+        np.testing.assert_array_equal(record.inputs, expected)
+
+
+def test_aggregator_copies_defensively_when_transport_does_not_own_payloads():
+    buffer = FIFOBuffer(capacity=64)
+    aggregator = make_aggregator(buffer)
+    aggregator._adopt_payloads = False  # a backend handing out borrowed views
+    wire = pack_many(make_steps(4))
+    steps = unpack_many(wire)  # borrowed: views into ``wire``
+    aggregator._handle_many(list(steps))
+    records = buffer.get_batch(4, timeout=1.0)
+    wire_bytes = np.frombuffer(wire, dtype=np.uint8)
+    for record in records:
+        assert not np.shares_memory(record.target, wire_bytes)
+
+
+def test_dedup_and_control_bookkeeping_survive_the_batched_path():
+    buffer = FIFOBuffer(capacity=64)
+    aggregator = make_aggregator(buffer)
+    steps = unpack_many(pack_many(make_steps(6)), copy_payloads=True)
+    aggregator._handle_many(list(steps))
+    aggregator._handle_many(list(steps))  # a restarted client resends
+    assert aggregator.stats.samples_received == 6
+    assert aggregator.stats.duplicates_discarded == 6
+    assert buffer.total_put == 6
+
+
+def test_mixed_parameter_lengths_fall_back_per_message():
+    buffer = FIFOBuffer(capacity=64)
+    aggregator = make_aggregator(buffer)
+    uneven = [
+        TimeStepMessage(
+            client_id=0,
+            time_step=0,
+            time_value=0.0,
+            parameters=(1.0,),
+            payload=np.ones(4, np.float32),
+        ),
+        TimeStepMessage(
+            client_id=1,
+            time_step=0,
+            time_value=1.0,
+            parameters=(1.0, 2.0),
+            payload=np.ones(4, np.float32),
+        ),
+    ]
+    aggregator._handle_many(uneven)
+    records = buffer.get_batch(2, timeout=1.0)
+    assert [record.inputs.shape for record in records] == [(2,), (3,)]
+
+
+# ---------------------------------------------------------- contiguous rows
+def test_contiguous_rows_detects_adjacent_views():
+    block = np.arange(40, dtype=np.float32)
+    rows = [block[index * 8 : (index + 1) * 8] for index in range(5)]
+    stacked = contiguous_rows(rows)
+    assert stacked is not None and stacked.shape == (5, 8)
+    assert np.shares_memory(stacked, block)
+
+
+def test_contiguous_rows_rejects_gaps_reorders_and_foreign_bases():
+    block = np.arange(64, dtype=np.float32)
+    assert contiguous_rows([block[0:8], block[8:16], block[24:32]]) is None  # gap
+    assert contiguous_rows([block[8:16], block[0:8]]) is None  # reordered
+    other = np.arange(8, dtype=np.float32)
+    assert contiguous_rows([block[0:8], other]) is None  # owns its data
+    assert contiguous_rows([np.arange(8, dtype=np.float32)]) is None  # no base
+
+
+# -------------------------------------------------------------- stack batch
+def _worker_stub():
+    from repro.server.trainer import TrainerConfig, TrainingWorker
+
+    worker = TrainingWorker.__new__(TrainingWorker)
+    worker.config = TrainerConfig(batch_size=4)
+    worker._batch_inputs = None
+    worker._batch_targets = None
+    return worker
+
+
+def test_stack_batch_is_zero_copy_for_arrival_ordered_records():
+    buffer = FIFOBuffer(capacity=64)
+    aggregator = make_aggregator(buffer)
+    steps = unpack_many(pack_many(make_steps(8)), copy_payloads=True)
+    aggregator._handle_many(list(steps))
+    batch = buffer.get_batch(4, timeout=1.0)
+
+    worker = _worker_stub()
+    inputs, targets = worker._stack_batch(batch)
+    assert np.shares_memory(targets, batch[0].target)  # no copy happened
+    assert np.shares_memory(inputs, batch[0].inputs)
+    assert inputs.shape == (4, 4) and targets.shape == (4, FIELD_LEN)
+
+
+def test_stack_batch_falls_back_to_staging_copy_for_shuffled_records():
+    buffer = FIROBuffer(capacity=64, threshold=0, seed=3)
+    aggregator = make_aggregator(buffer)
+    buffer.signal_reception_over()  # FIRO draws random positions: not adjacent
+    steps = unpack_many(pack_many(make_steps(8)), copy_payloads=True)
+    aggregator._handle_many(list(steps))
+    batch = buffer.get_batch(4, timeout=1.0)
+
+    worker = _worker_stub()
+    inputs, targets = worker._stack_batch(batch)
+    assert inputs.shape == (4, 4) and targets.shape == (4, FIELD_LEN)
+    for row, record in zip(range(4), batch):
+        np.testing.assert_array_equal(targets[row], record.target)
+        np.testing.assert_array_equal(inputs[row], record.inputs)
+
+
+def test_stack_batch_results_identical_between_fast_and_staging_paths():
+    steps = unpack_many(pack_many(make_steps(6)), copy_payloads=True)
+    records = [
+        SampleRecord(
+            inputs=np.asarray([*message.parameters, message.time_value], dtype=np.float32),
+            target=np.array(message.payload),  # owns its data: staging path
+            source_id=message.client_id,
+            time_step=message.time_step,
+        )
+        for message in steps
+    ]
+    staged_inputs, staged_targets = _worker_stub()._stack_batch(records)
+
+    buffer = FIFOBuffer(capacity=64)
+    aggregator = make_aggregator(buffer)
+    aggregator._handle_many(list(steps))
+    adopted = buffer.get_batch(6, timeout=1.0)
+    fast_inputs, fast_targets = _worker_stub()._stack_batch(adopted)
+
+    np.testing.assert_array_equal(staged_inputs, fast_inputs)
+    np.testing.assert_array_equal(staged_targets, fast_targets)
