@@ -96,8 +96,7 @@ def test_put_many_faster_than_per_sample_put(kind):
     def time_put(bulk):
         best = float("inf")
         for _ in range(REPEATS):
-            cls = {"fifo": FIFOBuffer, "firo": FIROBuffer,
-                   "reservoir": ReservoirBuffer}[kind]
+            cls = {"fifo": FIFOBuffer, "firo": FIROBuffer, "reservoir": ReservoirBuffer}[kind]
             buffer = cls(capacity=CAPACITY) if kind == "fifo" else cls(
                 capacity=CAPACITY, threshold=0, seed=1)
             began = time.perf_counter()

@@ -131,9 +131,9 @@ def test_ablation_with_vs_without_replacement(benchmark):
     print(format_rows(
         [
             {"mode": "with replacement", "batches_with_duplicates": duplicate_batches_with,
-             "seconds_per_100_batches": with_time},
+                    "seconds_per_100_batches": with_time},
             {"mode": "without replacement", "batches_with_duplicates": duplicate_batches_without,
-             "seconds_per_100_batches": without_time},
+                    "seconds_per_100_batches": without_time},
         ],
         title="Ablation — batch selection with vs without replacement",
     ))

@@ -21,7 +21,7 @@ def _simulate_distribution(num_ranks: int, num_clients: int, steps: int, round_r
     for step in range(1, steps + 1):
         for cid, connection in enumerate(connections):
             message = TimeStepMessage(client_id=cid, time_step=step,
-                                      payload=np.zeros(1, dtype=np.float32))
+                payload=np.zeros(1, dtype=np.float32))
             if round_robin:
                 connection.send_round_robin(message)
             else:

@@ -22,7 +22,7 @@ def test_fig2_throughput(benchmark, bench_scale):
         print(format_series(series.population_times, series.population_values,
                             label=f"population[{kind}]"))
     print(f"Reservoir / FIFO mean-throughput ratio: {result.reservoir_speedup_over_fifo():.2f}x "
-          "(paper: Reservoir constantly higher, ~1.3-4.8x depending on GPU count)")
+        "(paper: Reservoir constantly higher, ~1.3-4.8x depending on GPU count)")
 
     # Paper-shape assertions.
     assert result.mean_throughput("reservoir") > result.mean_throughput("fifo")

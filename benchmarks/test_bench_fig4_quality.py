@@ -15,7 +15,7 @@ def test_fig4_quality(benchmark, bench_scale):
 
     print()
     print(format_rows(result.summary_rows(),
-                      title="Figure 4 — best validation MSE per training setting"))
+            title="Figure 4 — best validation MSE per training setting"))
     for setting in result.curves:
         gap = result.generalization_gap(setting)
         print(f"generalization gap ({setting}): {gap:.4g}")

@@ -41,7 +41,7 @@ def test_fig6_online_vs_offline(benchmark, bench_scale):
     print()
     print(format_rows(rows, title="Figure 6 — online vs multi-epoch offline"))
     print(f"validation-MSE improvement of online over offline: {result.improvement_pct:.1f}% "
-          "(paper: 47%)")
+        "(paper: 47%)")
 
     # Paper-shape assertions: online sees more unique data and generalises at
     # least as well; the offline baseline shows the larger overfitting gap.

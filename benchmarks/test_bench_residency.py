@@ -11,11 +11,11 @@ from repro.experiments.reporting import format_rows
 
 def test_residency(benchmark):
     result = run_once(benchmark, run_residency_experiment,
-                      capacities=(16, 64, 256, 1024), insertions_per_capacity=500)
+        capacities=(16, 64, 256, 1024), insertions_per_capacity=500)
 
     print()
     print(format_rows(result.summary_rows(),
-                      title="Appendix A — measured vs analytic residency time (n-1)"))
+            title="Appendix A — measured vs analytic residency time (n-1)"))
 
     assert result.max_relative_error() < 0.1
     for capacity in (16, 64, 256, 1024):

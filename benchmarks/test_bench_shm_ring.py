@@ -137,7 +137,7 @@ def test_shm_transport_end_to_end_forked_producer():
         mp_transport.shutdown()
 
     shm_transport = ShmRingTransport(1, max_concurrent_clients=1, ring_slots=64,
-                                     ring_slot_bytes=RING_SLOT_BYTES)
+        ring_slot_bytes=RING_SLOT_BYTES)
     try:
         ring_rate = pump(shm_transport)
         stats = shm_transport.stats

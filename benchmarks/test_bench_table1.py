@@ -18,7 +18,7 @@ def test_table1(benchmark, bench_scale):
 
     print()
     print(format_rows([row.as_dict() for row in rows],
-                      title="Table 1 — training and throughput per buffer and GPU count"))
+            title="Table 1 — training and throughput per buffer and GPU count"))
 
     by_key = {(row.buffer, row.gpus): row for row in rows}
     # Online settings have no separate generation phase.

@@ -105,7 +105,7 @@ def main() -> None:
     print(f"restored server checkpoint from batch {metadata['batches_trained']}")
     same = state_dict_equal(restored_model.state_dict(), result.model.state_dict())
     print("restored weights equal final weights:", same,
-          "(False is expected when training continued after the last checkpoint)")
+        "(False is expected when training continued after the last checkpoint)")
 
 
 if __name__ == "__main__":

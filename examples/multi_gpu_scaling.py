@@ -47,7 +47,7 @@ def main() -> None:
 
     print(format_rows(rows, title="Multi-GPU scaling (paper Figure 5 / Table 1, scaled down)"))
     reservoir = {row["ranks"]: row["mean_throughput_samples_s"]
-                 for row in rows if row["buffer"] == "reservoir"}
+        for row in rows if row["buffer"] == "reservoir"}
     fifo = {row["ranks"]: row["mean_throughput_samples_s"]
             for row in rows if row["buffer"] == "fifo"}
     print(f"\nReservoir throughput scaling 1 -> 4 ranks: {reservoir[4] / reservoir[1]:.2f}x")

@@ -61,7 +61,7 @@ def main() -> None:
     print(f"\nvalidation-MSE improvement of online over offline: {improvement:.1f}% (paper: 47%)")
     print(f"batch-throughput ratio online/offline: {ratio:.1f}x (paper: ~12.5x)")
     print(f"offline dataset written to disk: {offline.dataset_gigabytes * 1000:.1f} MB "
-          f"(the online run stored nothing)")
+        f"(the online run stored nothing)")
 
 
 if __name__ == "__main__":

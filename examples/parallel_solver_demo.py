@@ -41,7 +41,7 @@ def main() -> None:
         elapsed = time.perf_counter() - start
         diff = max(
             float(np.abs(f_par - f_ref).max())
-            for (_, f_par), (_, f_ref) in zip(series, reference)
+            for (_, f_par), (_, f_ref) in zip(series, reference, strict=True)
         )
         rows.append({
             "solver": "domain-decomposed (distributed CG)",
@@ -52,10 +52,10 @@ def main() -> None:
 
     print(format_rows(rows, title="Sequential vs domain-decomposed heat solver"))
     print("\nThe decomposed solver reproduces the sequential solution to solver tolerance;"
-          "\nits thread-based ranks stand in for the paper's MPI processes (the Python GIL"
-          "\nmeans wall-clock speedup is not the point — the communication structure is).")
+        "\nits thread-based ranks stand in for the paper's MPI processes (the Python GIL"
+        "\nmeans wall-clock speedup is not the point — the communication structure is).")
     print(f"\nFinal field statistics: min={reference.final().min():.1f} K, "
-          f"max={reference.final().max():.1f} K, mean={reference.final().mean():.1f} K")
+        f"max={reference.final().max():.1f} K, mean={reference.final().mean():.1f} K")
 
 
 if __name__ == "__main__":

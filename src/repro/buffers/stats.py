@@ -77,7 +77,7 @@ class BufferStatistics:
     throughputs: List[float] = field(default_factory=list)
 
     def record(self, time: float, size: int, unseen: int | None = None,
-               throughput: float | None = None) -> None:
+        throughput: float | None = None) -> None:
         self.times.append(float(time))
         self.sizes.append(int(size))
         self.unseen_sizes.append(int(unseen) if unseen is not None else int(size))

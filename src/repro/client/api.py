@@ -34,8 +34,7 @@ class ClientAPI:
     ahead of data sent before it.
     """
 
-    def __init__(self, transport: Transport, client_id: int,
-                 send_batch_size: int = 1) -> None:
+    def __init__(self, transport: Transport, client_id: int, send_batch_size: int = 1) -> None:
         self._transport = transport
         self.client_id = int(client_id)
         self.send_batch_size = int(send_batch_size)

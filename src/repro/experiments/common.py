@@ -138,9 +138,9 @@ def run_online_with_buffer(
     scale = scale or default_scale()
     case = case or build_case(scale)
     config = online_config(scale, buffer_kind, num_ranks, use_series, max_batches,
-                           transport=transport, transport_batch_size=transport_batch_size,
-                           ring_slots=ring_slots, ring_slot_bytes=ring_slot_bytes,
-                           client_heartbeat_timeout=client_heartbeat_timeout)
+        transport=transport, transport_batch_size=transport_batch_size,
+        ring_slots=ring_slots, ring_slot_bytes=ring_slot_bytes,
+        client_heartbeat_timeout=client_heartbeat_timeout)
     if num_simulations is not None:
         config.num_simulations = num_simulations
         config.series_sizes = None

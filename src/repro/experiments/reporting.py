@@ -31,11 +31,11 @@ def format_rows(rows: Sequence[Dict[str, object]], title: str | None = None) -> 
     lines = []
     if title:
         lines.append(title)
-    header = " | ".join(col.ljust(width) for col, width in zip(columns, widths))
+    header = " | ".join(col.ljust(width) for col, width in zip(columns, widths, strict=True))
     lines.append(header)
     lines.append("-+-".join("-" * width for width in widths))
     for line in rendered:
-        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(line, widths, strict=True)))
     return "\n".join(lines)
 
 
@@ -53,7 +53,7 @@ def format_histogram(histogram: Dict[int, int], title: str | None = None, width:
 
 
 def format_series(times: Iterable[float], values: Iterable[float], label: str,
-                  max_points: int = 20) -> str:
+    max_points: int = 20) -> str:
     """Compact textual rendering of a time series (for benchmark output)."""
     times = list(times)
     values = list(values)

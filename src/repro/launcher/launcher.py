@@ -97,8 +97,7 @@ def _install_after_fork_noise_filter() -> None:
     sys.unraisablehook = hook
 
 
-def _client_process_main(client: SimulationClient, solver_params: object,
-                         conn) -> None:
+def _client_process_main(client: SimulationClient, solver_params: object, conn) -> None:
     """Entry point of a forked client process: run, report the outcome."""
     status, steps = "error", 0
     try:
@@ -223,6 +222,10 @@ class Launcher:
         #: ring-slot lease (``release_client``) when restarts are exhausted.
         self.transport = transport
         self.report = LauncherReport()
+        #: Guards every ``self.report`` mutation: restart and kill counters
+        #: are incremented from concurrent pool threads, and ``+=`` on a
+        #: shared attribute is not atomic — unguarded increments lose counts.
+        self._report_lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         self._started = False
 
@@ -259,7 +262,8 @@ class Launcher:
                 return total_steps
             except SimulationFailure as exc:
                 attempts += 1
-                self.report.restarts += 1
+                with self._report_lock:
+                    self.report.restarts += 1
                 logger.warning("client %d failed (%s), restart %d", spec.client_id, exc, attempts)
                 if attempts > self.config.max_restarts:
                     raise
@@ -309,7 +313,8 @@ class Launcher:
                     f"client {spec.client_id} process crashed (exit code {process.exitcode})"
                 )
             attempts += 1
-            self.report.restarts += 1
+            with self._report_lock:
+                self.report.restarts += 1
             logger.warning(
                 "client %d process %s (exit code %s), restart %d",
                 spec.client_id, status, process.exitcode, attempts,
@@ -352,7 +357,7 @@ class Launcher:
             now = time.monotonic()
             if deadline is not None and now >= deadline:
                 logger.warning("client %d exceeded its runtime cap, killing process",
-                               spec.client_id)
+                    spec.client_id)
                 break
             if heartbeat_timeout is not None:
                 if self.heartbeat_monitor.is_finished(spec.client_id):
@@ -373,7 +378,8 @@ class Launcher:
                         "client %d missed its heartbeat deadline (silent %.1fs), "
                         "killing process", spec.client_id, silence,
                     )
-                    self.report.unresponsive_kills += 1
+                    with self._report_lock:
+                        self.report.unresponsive_kills += 1
                     recorder = getattr(self.transport, "record_unresponsive_kill", None)
                     if recorder is not None:
                         recorder()
@@ -388,7 +394,8 @@ class Launcher:
         for index, group in enumerate(series):
             if index > 0 and self.config.inter_series_delay > 0:
                 time.sleep(self.config.inter_series_delay)
-            self.report.series_boundaries.append(time.monotonic() - start)
+            with self._report_lock:
+                self.report.series_boundaries.append(time.monotonic() - start)
             with ThreadPoolExecutor(
                 max_workers=self.config.max_concurrent_clients,
                 thread_name_prefix=f"client-series-{index}",
@@ -399,7 +406,8 @@ class Launcher:
                     try:
                         steps = future.result()
                     except Exception:  # noqa: BLE001 - client exhausted its restarts
-                        self.report.clients_failed += 1
+                        with self._report_lock:
+                            self.report.clients_failed += 1
                         logger.error("client %d permanently failed", spec.client_id)
                         # Recycle the dead client's ring-slot lease so a
                         # later ensemble member is not starved by it.
@@ -407,9 +415,11 @@ class Launcher:
                         if release is not None:
                             release(spec.client_id)
                     else:
-                        self.report.clients_completed += 1
-                        self.report.per_client_steps[spec.client_id] = steps
-        self.report.elapsed = time.monotonic() - start
+                        with self._report_lock:
+                            self.report.clients_completed += 1
+                            self.report.per_client_steps[spec.client_id] = steps
+        with self._report_lock:
+            self.report.elapsed = time.monotonic() - start
         return self.report
 
     # ---------------------------------------------------------- async control

@@ -77,7 +77,7 @@ def build_mlp(config: MLPConfig) -> Sequential:
         previous = width
     layers.append(
         Linear(previous, config.out_features, weight_init=config.weight_init, rng=rng,
-               dtype=config.dtype)
+            dtype=config.dtype)
     )
     return Sequential(*layers)
 

@@ -73,7 +73,7 @@ class SGD(Optimizer):
 
     def step(self) -> None:
         self.step_count += 1
-        for param, velocity in zip(self.parameters, self._velocity):
+        for param, velocity in zip(self.parameters, self._velocity, strict=True):
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
@@ -101,7 +101,7 @@ class SGD(Optimizer):
         self.nesterov = bool(state["nesterov"])
         self.weight_decay = float(state["weight_decay"])
         velocity = state["velocity"]
-        for buf, saved in zip(self._velocity, velocity):
+        for buf, saved in zip(self._velocity, velocity, strict=True):
             buf[...] = saved
 
 
@@ -126,7 +126,7 @@ class RMSProp(Optimizer):
 
     def step(self) -> None:
         self.step_count += 1
-        for param, square_avg in zip(self.parameters, self._square_avg):
+        for param, square_avg in zip(self.parameters, self._square_avg, strict=True):
             grad = param.grad
             if self.weight_decay:
                 grad = grad + self.weight_decay * param.data
@@ -149,7 +149,7 @@ class RMSProp(Optimizer):
         self.alpha = float(state["alpha"])
         self.eps = float(state["eps"])
         self.weight_decay = float(state["weight_decay"])
-        for buf, saved in zip(self._square_avg, state["square_avg"]):
+        for buf, saved in zip(self._square_avg, state["square_avg"], strict=True):
             buf[...] = saved
 
 
@@ -185,7 +185,7 @@ class Adam(Optimizer):
         self.step_count += 1
         bias1 = 1.0 - self.beta1**self.step_count
         bias2 = 1.0 - self.beta2**self.step_count
-        for param, m, v in zip(self.parameters, self._m, self._v):
+        for param, m, v in zip(self.parameters, self._m, self._v, strict=True):
             grad = self._apply_weight_decay(param, param.grad)
             m *= self.beta1
             m += (1.0 - self.beta1) * grad
@@ -216,9 +216,9 @@ class Adam(Optimizer):
         self.beta2 = float(state["beta2"])
         self.eps = float(state["eps"])
         self.weight_decay = float(state["weight_decay"])
-        for buf, saved in zip(self._m, state["m"]):
+        for buf, saved in zip(self._m, state["m"], strict=True):
             buf[...] = saved
-        for buf, saved in zip(self._v, state["v"]):
+        for buf, saved in zip(self._v, state["v"], strict=True):
             buf[...] = saved
 
 

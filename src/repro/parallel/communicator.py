@@ -81,11 +81,6 @@ class CommunicatorGroup:
         self.timeout = timeout
         self._mailboxes = [_Mailbox() for _ in range(size)]
         self._barrier = _Barrier(size)
-        # Collective scratch space, guarded by the barrier protocol:
-        # every collective starts and ends with a barrier, so a single shared
-        # buffer per group is race-free.
-        self._collective_lock = threading.Lock()
-        self._collective_buffer: List[Any] = [None] * size
 
     def rank_communicators(self) -> List["ThreadCommunicator"]:
         """One communicator handle per rank."""

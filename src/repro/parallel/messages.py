@@ -184,6 +184,17 @@ _FINISHED_HEADER = struct.Struct("<Bqq")
 #: type, client_id, timestamp, progress
 _HEARTBEAT_HEADER = struct.Struct("<Bqdd")
 
+# Declared wire sizes of the packed headers above.  These are the numbers a
+# reader on the other side of the ring hard-codes its offsets against;
+# ``tools/reprolint`` (wire-layout rule) cross-checks each one against
+# ``calcsize`` of its struct, so widening a field without bumping the declared
+# size is a lint error instead of a torn batch.
+BATCH_HEADER_BYTES = 32
+HELLO_HEADER_BYTES = 30
+STEP_HEADER_BYTES = 45
+FINISHED_HEADER_BYTES = 17
+HEARTBEAT_HEADER_BYTES = 25
+
 
 class BatchPlan:
     """Precomputed layout of one packed batch (see :func:`plan_many`).
@@ -194,18 +205,16 @@ class BatchPlan:
     packs straight into the slot's memoryview with :meth:`write_into`.
     """
 
-    __slots__ = ("count", "header_bytes", "params", "payloads",
-                 "total_payload", "nbytes")
+    __slots__ = ("count", "header_bytes", "params", "payloads", "total_payload", "nbytes")
 
     def __init__(self, count: int, header_bytes: bytes, params: List[float],
-                 payloads: List[Array], total_payload: int) -> None:
+        payloads: List[Array], total_payload: int) -> None:
         self.count = count
         self.header_bytes = header_bytes  # per-type headers, padded to 8 B
         self.params = params
         self.payloads = payloads
         self.total_payload = total_payload
-        self.nbytes = (_BATCH_HEADER.size + len(header_bytes)
-                       + 8 * len(params) + 4 * total_payload)
+        self.nbytes = (_BATCH_HEADER.size + len(header_bytes) + 8 * len(params) + 4 * total_payload)
 
     def write_into(self, buf, offset: int = 0) -> int:
         """Write the packed batch at ``buf[offset:]``; returns bytes written.
@@ -286,10 +295,10 @@ def plan_many(messages: Sequence[Message]) -> BatchPlan:
             params_flat.extend(message.parameters)
         elif kind is ClientFinished:
             headers.append(_FINISHED_HEADER.pack(_T_FINISHED, message.client_id,
-                                                 message.total_sent))
+                    message.total_sent))
         elif kind is Heartbeat:
             headers.append(_HEARTBEAT_HEADER.pack(_T_HEARTBEAT, message.client_id,
-                                                  message.timestamp, message.progress))
+                    message.timestamp, message.progress))
         else:
             raise WireFormatError(f"cannot pack message of type {kind.__name__}")
 
@@ -297,8 +306,7 @@ def plan_many(messages: Sequence[Message]) -> BatchPlan:
     padding = (-len(header_bytes)) % 8  # align the numeric blocks for frombuffer
     if padding:
         header_bytes += b"\x00" * padding
-    return BatchPlan(len(messages), header_bytes, params_flat, payload_parts,
-                     total_payload)
+    return BatchPlan(len(messages), header_bytes, params_flat, payload_parts, total_payload)
 
 
 def pack_many_into(messages: Sequence[Message], buf, offset: int = 0) -> int:
@@ -376,7 +384,7 @@ def unpack_many(buffer, copy_payloads: bool = False) -> List[Message]:
     params_list = np.frombuffer(buffer, dtype=np.float64, count=total_params,
                                 offset=params_offset).tolist()
     payload_block = np.frombuffer(buffer, dtype=np.float32, count=total_payload,
-                                  offset=payload_offset)
+        offset=payload_offset)
     if copy_payloads:
         payload_block = payload_block.copy()  # one memcpy adopts every payload
 
@@ -398,14 +406,13 @@ def unpack_many(buffer, copy_payloads: bool = False) -> List[Message]:
         for tup in _STEP_HEADER.iter_unpack(region):
             if tup[0] != _T_STEP:
                 break  # mixed batch after all: redo with the generic loop
-            (_, client_id, time_step, time_value, sequence_number,
-             n_params, payload_len) = tup
+            (_, client_id, time_step, time_value, sequence_number, n_params, payload_len) = tup
             parameters = tuple(params_list[params_cursor:params_cursor + n_params])
             params_cursor += n_params
             payload = payload_block[payload_cursor:payload_cursor + payload_len]
             payload_cursor += payload_len
             append(make_step(client_id, time_step, time_value, parameters,
-                             payload, sequence_number))
+                    payload, sequence_number))
         else:
             return messages
         messages.clear()
@@ -418,7 +425,7 @@ def unpack_many(buffer, copy_payloads: bool = False) -> List[Message]:
         kind = buffer[offset]
         if kind == _T_STEP:
             (_, client_id, time_step, time_value, sequence_number,
-             n_params, payload_len) = step_unpack(buffer, offset)
+                n_params, payload_len) = step_unpack(buffer, offset)
             offset += step_size
             parameters = tuple(params_list[params_cursor:params_cursor + n_params])
             params_cursor += n_params
@@ -429,7 +436,7 @@ def unpack_many(buffer, copy_payloads: bool = False) -> List[Message]:
             # order: client_id, time_step, time_value, parameters, payload,
             # sequence_number.
             append(make_step(client_id, time_step, time_value, parameters,
-                             payload, sequence_number))
+                    payload, sequence_number))
         elif kind == _T_HELLO:
             (_, client_id, n_params, num_time_steps, restart_count, ndim) = (
                 _HELLO_HEADER.unpack_from(buffer, offset)
@@ -458,8 +465,7 @@ def unpack_many(buffer, copy_payloads: bool = False) -> List[Message]:
         elif kind == _T_HEARTBEAT:
             _, client_id, timestamp, progress = _HEARTBEAT_HEADER.unpack_from(buffer, offset)
             offset += _HEARTBEAT_HEADER.size
-            messages.append(Heartbeat(client_id=client_id, timestamp=timestamp,
-                                      progress=progress))
+            messages.append(Heartbeat(client_id=client_id, timestamp=timestamp, progress=progress))
         else:
             raise WireFormatError(f"unknown message type code {kind} at offset {offset}")
     return messages

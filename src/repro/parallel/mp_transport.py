@@ -147,8 +147,7 @@ class MultiprocessTransport(Transport):
         plan.write_into(scratch, 0)
         return bytes(memoryview(scratch)[: plan.nbytes])
 
-    def push_many(self, rank: int, messages: List[Message],
-                  timeout: float | None = None) -> None:
+    def push_many(self, rank: int, messages: List[Message], timeout: float | None = None) -> None:
         """Serialise ``messages`` into one packed buffer and enqueue it."""
         self._check_rank(rank)
         if not messages:
@@ -174,7 +173,7 @@ class MultiprocessTransport(Transport):
 
     # ----------------------------------------------------------------- server
     def poll_many(self, rank: int, max_messages: int = 64,
-                  timeout: float | None = 0.05) -> List[Message]:
+        timeout: float | None = 0.05) -> List[Message]:
         if max_messages <= 0:
             raise ValueError("max_messages must be positive")
         self._check_rank(rank)
@@ -212,8 +211,7 @@ class MultiprocessTransport(Transport):
         except queue.Empty:
             return None
         except Exception:  # noqa: BLE001 - torn pipe stream fails to unpickle
-            logger.warning("rank %d: discarding corrupt transport buffer", rank,
-                           exc_info=True)
+            logger.warning("rank %d: discarding corrupt transport buffer", rank, exc_info=True)
             self._shared.record_dropped(1)
             return []
         try:
@@ -222,8 +220,7 @@ class MultiprocessTransport(Transport):
             # view (the messages collectively own the copied block).
             return unpack_many(buffer, copy_payloads=True)
         except WireFormatError:
-            logger.warning("rank %d: discarding unparsable transport batch", rank,
-                           exc_info=True)
+            logger.warning("rank %d: discarding unparsable transport batch", rank, exc_info=True)
             self._shared.record_dropped(1)
             return []
 

@@ -185,7 +185,7 @@ class ShmRing:
     """
 
     def __init__(self, buf: memoryview, num_slots: int, slot_bytes: int,
-                 create: bool = False) -> None:
+        create: bool = False) -> None:
         if num_slots <= 0:
             raise ValueError("num_slots must be positive")
         if slot_bytes <= 0 or slot_bytes % 8:
@@ -601,7 +601,11 @@ class ShmRingTransport(MultiprocessTransport):
         if slot is not None and self._slot_owner[slot] == client_id:
             return slot
         if slot is not None:
-            del self._slot_cache[client_id]
+            # Stale entry (the lease was recycled): drop it under the table
+            # lock — thread-mode launchers push from concurrent pool threads,
+            # and every other _slot_cache write happens under this lock.
+            with self._table_lock:
+                self._slot_cache.pop(client_id, None)
         return self._lease_slot(client_id, block=False)
 
     def _slot_of(self, client_id: int) -> Optional[int]:
@@ -645,11 +649,10 @@ class ShmRingTransport(MultiprocessTransport):
                 if owner[slot] == client_id:
                     owner[slot] = -1
                     self._slot_refs[slot] = 0
-        self._slot_cache.pop(client_id, None)
+            self._slot_cache.pop(client_id, None)
 
     # ----------------------------------------------------------------- client
-    def push_many(self, rank: int, messages: List[Message],
-                  timeout: float | None = None) -> None:
+    def push_many(self, rank: int, messages: List[Message], timeout: float | None = None) -> None:
         """Route a batch: time steps to their client's leased ring, rest queued.
 
         A client's data batch is homogeneous (one client, all time steps) —
@@ -678,8 +681,7 @@ class ShmRingTransport(MultiprocessTransport):
                 return
         self._push_runs(rank, messages, timeout)
 
-    def _push_runs(self, rank: int, messages: List[Message],
-                   timeout: float | None) -> None:
+    def _push_runs(self, rank: int, messages: List[Message], timeout: float | None) -> None:
         runs: List[tuple[Optional[ShmRing], List[Message]]] = []
         rings = self._rings[rank]
         for message in messages:
@@ -707,7 +709,7 @@ class ShmRingTransport(MultiprocessTransport):
                 raise
 
     def _ring_chunks(self, ring: ShmRing,
-                     run: List[Message]) -> List[tuple[List[Message], BatchPlan]]:
+        run: List[Message]) -> List[tuple[List[Message], BatchPlan]]:
         """Plan ``run`` into slot-sized batches, splitting in half as needed.
 
         Planning is size-only (no bytes are produced): the actual packing
@@ -763,7 +765,7 @@ class ShmRingTransport(MultiprocessTransport):
 
     # ----------------------------------------------------------------- server
     def poll_many(self, rank: int, max_messages: int = 64,
-                  timeout: float | None = 0.05) -> List[Message]:
+        timeout: float | None = 0.05) -> List[Message]:
         if max_messages <= 0:
             raise ValueError("max_messages must be positive")
         self._check_rank(rank)
@@ -879,8 +881,7 @@ class ShmRingTransport(MultiprocessTransport):
                     # so the slot can be recycled immediately after.
                     batch = unpack_many(view, copy_payloads=True)
                 except (WireFormatError, struct.error):
-                    logger.warning("rank %d: discarding unparsable ring batch", rank,
-                                   exc_info=True)
+                    logger.warning("rank %d: discarding unparsable ring batch", rank, exc_info=True)
                     self._shared.record_dropped(1)
                 finally:
                     view.release()

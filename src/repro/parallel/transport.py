@@ -89,15 +89,13 @@ class Transport:
         """Create a connection handle for a client (all server ranks reachable)."""
         if self.closed:
             raise RouterClosed("cannot connect: transport is closed")
-        return Connection(transport=self, client_id=int(client_id),
-                          batch_size=int(batch_size))
+        return Connection(transport=self, client_id=int(client_id), batch_size=int(batch_size))
 
     def push(self, rank: int, message: Message, timeout: float | None = None) -> None:
         """Push one message to ``rank`` (blocking while the channel is full)."""
         raise NotImplementedError
 
-    def push_many(self, rank: int, messages: List[Message],
-                  timeout: float | None = None) -> None:
+    def push_many(self, rank: int, messages: List[Message], timeout: float | None = None) -> None:
         """Push a batch to ``rank``; backends may serialise it as one buffer.
 
         A failed push drops the whole remaining batch (the failing message is
@@ -125,7 +123,7 @@ class Transport:
         return messages[0] if messages else None
 
     def poll_many(self, rank: int, max_messages: int = 64,
-                  timeout: float | None = 0.05) -> List[Message]:
+        timeout: float | None = 0.05) -> List[Message]:
         """Pop up to ``max_messages`` messages for ``rank`` in one call.
 
         Blocks up to ``timeout`` for the first message only, then drains
@@ -384,7 +382,7 @@ def make_transport(
             max_queue_size=max_queue_size,
             ring_slots=DEFAULT_RING_SLOTS if ring_slots is None else ring_slots,
             ring_slot_bytes=(DEFAULT_RING_SLOT_BYTES if ring_slot_bytes is None
-                             else ring_slot_bytes),
+                else ring_slot_bytes),
         )
     raise ValueError(
         f"unknown transport kind {kind!r} (expected 'inproc', 'mp' or 'shm')"

@@ -31,7 +31,7 @@ class ParameterSpace:
             raise ValueError("lower and upper bounds must have the same length")
         if not self.lower:
             raise ValueError("parameter space must have at least one dimension")
-        if any(lo > hi for lo, hi in zip(self.lower, self.upper)):
+        if any(lo > hi for lo, hi in zip(self.lower, self.upper, strict=True)):
             raise ValueError("every lower bound must not exceed its upper bound")
         if self.names and len(self.names) != len(self.lower):
             raise ValueError("names must match the number of dimensions")

@@ -214,7 +214,7 @@ class DataAggregator:
         adopt = self._adopt_payloads
         records: List[SampleRecord] = []
         sizes: List[int] = []
-        for row, message in zip(input_rows, fresh):
+        for row, message in zip(input_rows, fresh, strict=True):
             target = message.payload
             if target.dtype != np.float32:
                 target = np.asarray(target, dtype=np.float32)

@@ -54,11 +54,11 @@ class ValidationSet:
         """
         inputs = []
         targets = []
-        for params, sim_times, sim_fields in zip(parameter_vectors, times, fields):
+        for params, sim_times, sim_fields in zip(parameter_vectors, times, fields, strict=True):
             params = np.asarray(params, dtype=np.float32).ravel()
             sim_fields = np.asarray(sim_fields, dtype=np.float32)
             sim_fields = sim_fields.reshape(sim_fields.shape[0], -1)
-            for time_value, field in zip(np.asarray(sim_times), sim_fields):
+            for time_value, field in zip(np.asarray(sim_times), sim_fields, strict=True):
                 inputs.append(np.concatenate([params, [np.float32(time_value)]]))
                 targets.append(field)
         return ValidationSet(inputs=np.stack(inputs), targets=np.stack(targets))

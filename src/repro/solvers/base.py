@@ -92,7 +92,7 @@ class TimeSeries:
         return len(self._fields)
 
     def __iter__(self) -> Iterator[Tuple[float, Array]]:
-        return iter(zip(self._times, self._fields))
+        return iter(zip(self._times, self._fields, strict=True))
 
     def __getitem__(self, index: int) -> Tuple[float, Array]:
         return self._times[index], self._fields[index]

@@ -1,0 +1,28 @@
+"""Fixture: blocking calls while a lock is held (POSITIVE, 4 findings)."""
+
+import queue
+import threading
+import time
+
+
+class Wedge:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._queue = queue.Queue()
+        self._worker = threading.Thread(target=lambda: None)
+
+    def sleep_under_lock(self) -> None:
+        with self._lock:
+            time.sleep(0.1)  # finding: sleeps while every reader is parked
+
+    def queue_get_under_lock(self) -> object:
+        with self._lock:
+            return self._queue.get()  # finding: the PR 2 mid-put wedge shape
+
+    def queue_put_under_lock(self, item: object) -> None:
+        with self._lock:
+            self._queue.put(item)  # finding: blocks while the queue is full
+
+    def join_under_lock(self) -> None:
+        with self._lock:
+            self._worker.join()  # finding: unbounded wait on another thread

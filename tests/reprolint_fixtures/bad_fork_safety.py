@@ -1,0 +1,21 @@
+"""Fixture: import-time synchronisation state (POSITIVE, 4 findings).
+
+Everything below is duplicated into every forked client: a lock forked while
+held stays held forever, the queue's internal state forks torn, the thread
+does not exist in the child, and the shm handle leaks a mapping.
+"""
+
+import queue
+import threading
+from multiprocessing import shared_memory
+
+_MODULE_LOCK = threading.Lock()  # finding
+_WORK_QUEUE = queue.Queue()  # finding
+_SEGMENT = shared_memory.SharedMemory(create=True, size=64)  # finding
+
+
+class Worker:
+    # Shared class attribute: one lock per *class*, cloned by fork.  The
+    # dataclass ``field(default_factory=threading.Lock)`` idiom is the safe
+    # per-instance spelling and is not flagged.
+    _registry_lock = threading.Lock()  # finding

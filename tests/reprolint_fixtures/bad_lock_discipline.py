@@ -1,0 +1,27 @@
+"""Fixture: the mixed locked/unlocked mutation shape (POSITIVE, 3 findings).
+
+Never imported — parsed by tests/test_reprolint_checkers.py only.
+"""
+
+import threading
+
+
+class MixedCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.cache = {}
+
+    def locked_increment(self) -> None:
+        with self._lock:
+            self.count += 1
+            self.cache["last"] = self.count
+
+    def racy_increment(self) -> None:
+        self.count += 1  # finding: mutated under the lock elsewhere
+
+    def racy_delete(self, key: str) -> None:
+        del self.cache[key]  # finding: subscript delete outside the lock
+
+    def racy_pop(self, key: str) -> None:
+        self.cache.pop(key, None)  # finding: mutator call outside the lock

@@ -1,0 +1,27 @@
+"""Fixture: a lock-order cycle (POSITIVE).
+
+``transfer`` takes A then B, ``refund`` takes B then A (via a helper call):
+two threads interleaving these deadlock.
+"""
+
+import threading
+
+
+class Ledger:
+    def __init__(self) -> None:
+        self._accounts_lock = threading.Lock()
+        self._journal_lock = threading.Lock()
+        self.balance = 0
+
+    def transfer(self) -> None:
+        with self._accounts_lock:
+            with self._journal_lock:
+                self.balance += 1
+
+    def refund(self) -> None:
+        with self._journal_lock:
+            self._debit()
+
+    def _debit(self) -> None:
+        with self._accounts_lock:
+            self.balance -= 1

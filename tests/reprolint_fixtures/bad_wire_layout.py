@@ -1,0 +1,34 @@
+"""Fixture: every wire-layout drift shape (POSITIVE, 5 findings).
+
+The exact bugs this rule exists for: a widened field without a bumped size
+constant, native-alignment formats on the wire, pack arity drift (also via
+the repo's method-alias idiom), and a header field pushed past its budget.
+"""
+
+import struct
+
+# Field widened to q but the declared constant still says the old size (17).
+_RECORD_HEADER = struct.Struct("<Bqq")
+RECORD_HEADER_BYTES = 13  # finding: format packs 17 bytes
+
+# finding: no byte-order prefix — native alignment differs across ABIs.
+_NATIVE_TAG = struct.Struct("Bq")
+
+_PAIR = struct.Struct("<qq")
+pair_pack = _PAIR.pack
+
+
+def write_record(buffer: bytearray) -> None:
+    _RECORD_HEADER.pack_into(buffer, 0, 1, 2)  # finding: 2 values for 3 fields
+
+
+def write_pair() -> bytes:
+    return pair_pack(1, 2, 3)  # finding via alias: 3 values for 2 fields
+
+
+# Offset family: _COUNT was widened to 16 bytes (two slots) but the budget
+# constant was not bumped, so _TAIL's 8-byte field no longer fits.
+_RING_HEAD = 0
+_RING_COUNT = 8
+_RING_TAIL = 24
+RING_BYTES = 24  # finding: _RING_TAIL + 8 > 24

@@ -1,0 +1,43 @@
+"""Fixture: non-blocking work under locks, blocking work outside (NEGATIVE).
+
+Exercises every exemption: condition-variable waits on the held lock,
+non-blocking queue variants, ``dict.get``/``str.join`` look-alikes, and
+blocking calls made with no lock held.
+"""
+
+import queue
+import threading
+import time
+
+
+class Disciplined:
+    def __init__(self) -> None:
+        self._lock = threading.Condition()
+        self._queue = queue.Queue()
+        self._items = []
+        self._config = {}
+
+    def wait_for_items(self) -> object:
+        with self._lock:
+            # Waiting on the held lock releases it: the CV protocol, exempt.
+            self._lock.wait_for(lambda: self._items)
+            return self._items.pop(0)
+
+    def nonblocking_under_lock(self) -> None:
+        with self._lock:
+            value = self._config.get("key")  # dict.get: one positional arg
+            label = ", ".join(["a", "b"])  # str.join: one positional arg
+            try:
+                self._queue.put(value, block=False)
+                self._queue.get(timeout=0)
+            except queue.Empty:
+                pass
+            self._items.append(label)
+            self._lock.notify_all()
+
+    def blocking_outside_lock(self) -> object:
+        time.sleep(0.01)
+        item = self._queue.get()
+        with self._lock:
+            self._items.append(item)
+        return item

@@ -1,0 +1,26 @@
+"""Fixture: per-instance synchronisation state only (NEGATIVE)."""
+
+import queue
+import threading
+from dataclasses import dataclass, field
+
+#: Plain data at module scope is fork-safe.
+DEFAULT_TIMEOUT = 30.0
+
+
+class Worker:
+    def __init__(self) -> None:
+        # Created per instance, post-fork: safe.
+        self._lock = threading.Lock()
+        self._queue = queue.Queue()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        self._queue.get()
+
+
+@dataclass
+class Monitor:
+    # default_factory passes the callable: a fresh lock per instance, safe.
+    timeout: float = 30.0
+    _lock: threading.Lock = field(default_factory=threading.Lock)

@@ -1,0 +1,28 @@
+"""Fixture: consistent lock discipline (NEGATIVE, no findings).
+
+Covers the repo's conventions: construction-time writes in ``__init__``,
+``*_locked`` caller-holds-it hooks, and attributes that are never locked.
+"""
+
+import threading
+
+
+class ConsistentCounter:
+    def __init__(self) -> None:
+        self._lock = threading.Condition()
+        self.count = 0
+        self.cache = {}
+        self.unguarded_stat = 0  # single-threaded: never locked anywhere
+
+    def locked_increment(self) -> None:
+        with self._lock:
+            self._bump_locked()
+            self.cache["last"] = self.count
+            self._lock.notify_all()
+
+    def _bump_locked(self) -> None:
+        # Caller holds the lock (repo convention): counts as locked mutation.
+        self.count += 1
+
+    def single_threaded_bump(self) -> None:
+        self.unguarded_stat += 1  # consistent: never mutated under a lock

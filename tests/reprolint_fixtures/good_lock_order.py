@@ -1,0 +1,32 @@
+"""Fixture: nested locks with one global order, plus legal reentrancy (NEGATIVE)."""
+
+import threading
+
+
+class OrderedLedger:
+    def __init__(self) -> None:
+        self._accounts_lock = threading.Lock()
+        self._journal_lock = threading.Lock()
+        self._state_lock = threading.Condition()
+        self.balance = 0
+        self.entries = 0
+
+    def transfer(self) -> None:
+        # Always accounts -> journal: a consistent order is acyclic.
+        with self._accounts_lock:
+            with self._journal_lock:
+                self.balance += 1
+
+    def audit(self) -> None:
+        with self._accounts_lock:
+            with self._journal_lock:
+                self.entries += 1
+
+    def wait_for_entries(self) -> None:
+        # Re-acquiring a reentrant lock (Condition/RLock) is not a cycle.
+        with self._state_lock:
+            self._reenter()
+
+    def _reenter(self) -> None:
+        with self._state_lock:
+            self._state_lock.notify_all()

@@ -1,0 +1,36 @@
+"""Fixture: consistent wire layout (NEGATIVE).
+
+Mirrors the shapes in ``messages.py``/``shm_ring.py``: declared sizes match
+``calcsize``, pack arity matches the format (directly and through method
+aliases, including the tuple-bind idiom), and the offset family fits its
+budget.  The small dense ``_T_*`` constants are message-type tags, not a
+layout, and must not be mistaken for an offset family.
+"""
+
+import struct
+
+_RECORD_HEADER = struct.Struct("<Bqq")
+RECORD_HEADER_BYTES = 17
+
+_PAIR = struct.Struct("<qq")
+pair_pack = _PAIR.pack
+load, store = _PAIR.unpack_from, _PAIR.pack_into
+
+_T_HELLO = 0
+_T_STEP = 1
+_T_FINISHED = 2
+
+_RING_HEAD = 0
+_RING_COUNT = 8
+_RING_TAIL = 16
+RING_BYTES = 24
+
+
+def write_record(buffer: bytearray) -> None:
+    _RECORD_HEADER.pack_into(buffer, 0, 1, 2, 3)
+
+
+def roundtrip_pair(buffer: bytearray) -> tuple:
+    store(buffer, 0, 4, 5)
+    data = pair_pack(1, 2)
+    return data, load(buffer, 0)

@@ -1,0 +1,24 @@
+"""Fixture: pragma-protocol misuse (POSITIVE: bad-pragma + unused-pragma).
+
+A pragma without justification suppresses nothing (the defect it sits on is
+still reported, plus ``bad-pragma``); a justified pragma matching no finding
+is reported as ``unused-pragma`` so stale suppressions cannot accumulate.
+"""
+
+import threading
+
+
+class Sloppy:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def locked_increment(self) -> None:
+        with self._lock:
+            self.count += 1
+
+    def racy_increment(self) -> None:
+        self.count += 1  # reprolint: allow[lock-discipline]
+
+    def fine(self) -> int:
+        return self.count  # reprolint: allow[blocking-under-lock] -- stale suppression

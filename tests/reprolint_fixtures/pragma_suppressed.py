@@ -1,0 +1,25 @@
+"""Fixture: a justified pragma suppresses its finding (clean after pragma).
+
+Same defect shape as ``bad_lock_discipline.py``; the pragma documents why the
+unlocked mutation is safe here, once on the flagged line and once on the
+own-line form covering the line below it.
+"""
+
+import threading
+
+
+class TornDown:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.count = 0
+        self.cache = {}
+
+    def locked_increment(self) -> None:
+        with self._lock:
+            self.count += 1
+            self.cache["last"] = self.count
+
+    def finalize(self) -> None:
+        self.count += 1  # reprolint: allow[lock-discipline] -- called after every worker joined
+        # reprolint: allow[lock-discipline] -- single-threaded teardown, workers already joined
+        self.cache.clear()

@@ -232,8 +232,7 @@ def selection_frequencies(kind, path, population, batch_size, trials, seed_base)
     """Empirical per-key selection frequency of the first batch drawn."""
     counts = {record(i).key(): 0 for i in range(population)}
     for trial in range(trials):
-        buffer = make_buffer(kind, capacity=population, threshold=0,
-                             seed=seed_base + trial)
+        buffer = make_buffer(kind, capacity=population, threshold=0, seed=seed_base + trial)
         fill(buffer, population)
         batch = BATCH_GETTERS[path](buffer, batch_size, timeout=1.0)
         assert len(batch) == batch_size

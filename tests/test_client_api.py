@@ -23,7 +23,7 @@ def test_client_api_lifecycle_and_messages():
     router = MessageRouter(2)
     api = ClientAPI(router, client_id=3)
     api.init_communication(parameters=(1.0, 2.0, 3.0, 4.0, 5.0), num_time_steps=4,
-                           field_shape=(4, 4))
+        field_shape=(4, 4))
     for step in range(1, 4):
         api.send(step, step * 0.01, (1.0, 2.0, 3.0, 4.0, 5.0), np.ones((4, 4)) * step)
     api.send_heartbeat(timestamp=1.0, progress=0.5)

@@ -75,7 +75,7 @@ def test_series_submitter_concurrency_limited_by_resources():
     submitter = SeriesSubmitter(scheduler, series)
     submitter.start()
     running = [job for group in submitter.groups for job in group.jobs
-               if job.state == JobState.RUNNING]
+        if job.state == JobState.RUNNING]
     assert len(running) == 2  # 4 cores / 2 cores per client
     submitter.step(10.0)
     submitter.step(10.0)

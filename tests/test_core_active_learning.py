@@ -43,7 +43,7 @@ def test_adaptive_sampler_concentrates_on_high_error_region(space):
         return candidates[:, 0]
 
     sampler = AdaptiveSampler(space, error_oracle=oracle, candidate_pool_size=512,
-                              exploration_fraction=0.0, seed=1)
+        exploration_fraction=0.0, seed=1)
     proposed = sampler.sample(16)
     # Everything proposed sits in the top part of the T_IC range.
     assert proposed[:, 0].min() > 400.0

@@ -37,7 +37,7 @@ def test_online_config_lr_step_scaling():
 
 def test_online_config_trainer_config_propagates_fields():
     config = OnlineStudyConfig(batch_size=7, validation_interval=33, max_batches=12,
-                               batch_compute_delay=0.01)
+        batch_compute_delay=0.01)
     trainer = config.trainer_config()
     assert trainer.batch_size == 7
     assert trainer.validation_interval == 33

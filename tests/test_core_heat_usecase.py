@@ -30,7 +30,7 @@ def test_case_dimensions(case):
 def test_model_factory_replicas_identical(case):
     a = case.model_factory()
     b = case.model_factory()
-    for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+    for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters(), strict=True):
         assert np.array_equal(pa.data, pb.data)
     out = a.forward(np.zeros((2, 6), dtype=np.float32))
     assert out.shape == (2, 64)
@@ -74,7 +74,7 @@ def test_generate_store_roundtrip(case, tmp_path):
     # Regeneration with explicit parameter vectors honours the given order.
     params = case.sample_parameters(2)
     store2 = case.generate_store(tmp_path / "store2", num_simulations=2,
-                                 parameter_vectors=list(params), workers=1)
+        parameter_vectors=list(params), workers=1)
     stored = store2.simulations
     assert np.allclose(stored[0].parameters, params[0])
     assert np.allclose(stored[1].parameters, params[1])

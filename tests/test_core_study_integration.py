@@ -61,7 +61,7 @@ def test_online_study_respects_max_batches(tiny_scale, tiny_case):
 
 def test_offline_study_end_to_end(tiny_scale, tiny_case, tmp_path):
     result = run_offline_baseline(scale=tiny_scale, num_epochs=2, num_ranks=1, case=tiny_case,
-                                  store_dir=tmp_path / "offline-store")
+        store_dir=tmp_path / "offline-store")
     expected_unique = tiny_scale.num_simulations * tiny_scale.num_steps
     assert result.unique_samples == expected_unique
     assert result.generation_elapsed > 0
@@ -73,7 +73,7 @@ def test_offline_study_end_to_end(tiny_scale, tiny_case, tmp_path):
 
 def test_offline_study_reuses_existing_store(tiny_scale, tiny_case, tmp_path):
     first = run_offline_baseline(scale=tiny_scale, num_epochs=1, case=tiny_case,
-                                 store_dir=tmp_path / "store")
+        store_dir=tmp_path / "store")
     # Re-run training on the already generated store: no regeneration cost.
     from repro.offline.storage import SimulationStore
 

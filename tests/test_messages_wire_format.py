@@ -36,7 +36,7 @@ client_ids = st.integers(min_value=0, max_value=2**40)
 #: unlucky seed even though generation succeeds — suppress just that check.
 _lenient = settings(max_examples=40, deadline=None,
                     suppress_health_check=[HealthCheck.filter_too_much,
-                                           HealthCheck.too_slow])
+        HealthCheck.too_slow])
 
 
 @st.composite
@@ -55,7 +55,7 @@ def time_step_messages(draw, dtype=np.float32):
     size = draw(st.integers(min_value=0, max_value=64))
     if np.issubdtype(np.dtype(dtype), np.floating):
         values = draw(st.lists(st.floats(allow_nan=False, allow_infinity=False,
-                                         width=32), min_size=size, max_size=size))
+                    width=32), min_size=size, max_size=size))
     else:
         values = draw(st.lists(st.integers(-2**15, 2**15), min_size=size, max_size=size))
     return TimeStepMessage(
@@ -70,19 +70,18 @@ def time_step_messages(draw, dtype=np.float32):
 
 @st.composite
 def finished_messages(draw):
-    return ClientFinished(client_id=draw(client_ids),
-                          total_sent=draw(st.integers(0, 2**31)))
+    return ClientFinished(client_id=draw(client_ids), total_sent=draw(st.integers(0, 2**31)))
 
 
 @st.composite
 def heartbeat_messages(draw):
     return Heartbeat(client_id=draw(client_ids), timestamp=draw(finite_floats),
-                     progress=draw(finite_floats))
+        progress=draw(finite_floats))
 
 
 def any_message():
     return st.one_of(hello_messages(), time_step_messages(), finished_messages(),
-                     heartbeat_messages())
+        heartbeat_messages())
 
 
 # ------------------------------------------------------------- per-subclass
@@ -130,10 +129,9 @@ def test_mixed_batch_round_trip_and_canonical_repack(messages):
 def test_non_float32_payloads_are_canonicalised(messages):
     """Random payload dtypes: the wire always carries float32 (client contract)."""
     restored = unpack_many(pack_many(messages))
-    for out, original in zip(restored, messages):
+    for out, original in zip(restored, messages, strict=True):
         assert out.payload.dtype == np.float32
-        np.testing.assert_array_equal(out.payload,
-                                      original.payload.astype(np.float32))
+        np.testing.assert_array_equal(out.payload, original.payload.astype(np.float32))
 
 
 def test_zero_step_client_conversation_round_trips():
@@ -159,8 +157,7 @@ def test_unpacked_payload_is_zero_copy_view():
 
 
 def test_2d_payload_is_flattened_like_the_client_api():
-    message = TimeStepMessage(client_id=0,
-                              payload=np.ones((4, 4), dtype=np.float32))
+    message = TimeStepMessage(client_id=0, payload=np.ones((4, 4), dtype=np.float32))
     (restored,) = unpack_many(pack_many([message]))
     assert restored.payload.shape == (16,)
 
@@ -168,8 +165,8 @@ def test_2d_payload_is_flattened_like_the_client_api():
 # -------------------------------------------------------- pack-into a buffer
 @_lenient
 @given(messages=st.lists(any_message(), min_size=0, max_size=20),
-       offset=st.integers(min_value=0, max_value=64),
-       slack=st.integers(min_value=0, max_value=32))
+    offset=st.integers(min_value=0, max_value=64),
+    slack=st.integers(min_value=0, max_value=32))
 def test_pack_many_into_is_byte_identical_at_any_offset(messages, offset, slack):
     """Zero-copy packing writes exactly the ``pack_many`` bytes, wherever the
     caller points it inside a larger buffer (ring slots start mid-segment)."""
@@ -186,7 +183,7 @@ def test_pack_many_into_is_byte_identical_at_any_offset(messages, offset, slack)
 
 @_lenient
 @given(messages=st.lists(any_message(), min_size=1, max_size=12),
-       shortfall=st.integers(min_value=1, max_value=64))
+    shortfall=st.integers(min_value=1, max_value=64))
 def test_pack_many_into_rejects_undersized_buffer(messages, shortfall):
     need = plan_many(messages).nbytes
     buf = bytearray(max(need - shortfall, 0))
@@ -196,7 +193,7 @@ def test_pack_many_into_rejects_undersized_buffer(messages, shortfall):
 
 @_lenient
 @given(messages=st.lists(time_step_messages(), min_size=1, max_size=16),
-       pieces=st.integers(min_value=2, max_value=4))
+    pieces=st.integers(min_value=2, max_value=4))
 def test_split_runs_unpack_to_the_original_sequence(messages, pieces):
     """The ring transport splits oversized runs into sub-batches; packing the
     halves separately (the wraparound/slot-split case) must reproduce the

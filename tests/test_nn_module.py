@@ -39,7 +39,7 @@ def test_state_dict_roundtrip():
     other = build_net(seed=2)
     assert not np.allclose(net.layers[0].weight.data, other.layers[0].weight.data)
     other.load_state_dict(net.state_dict())
-    for (_, a), (_, b) in zip(net.named_parameters(), other.named_parameters()):
+    for (_, a), (_, b) in zip(net.named_parameters(), other.named_parameters(), strict=True):
         assert np.array_equal(a.data, b.data)
 
 

@@ -82,7 +82,7 @@ def test_cosine_annealing_reaches_min(optimizer):
 def test_cosine_annealing_monotone_decrease(optimizer):
     scheduler = CosineAnnealingLR(optimizer, total_steps=20)
     values = [scheduler.step() for _ in range(20)]
-    assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+    assert all(b <= a + 1e-12 for a, b in zip(values, values[1:], strict=False))
 
 
 def test_reduce_on_plateau(optimizer):

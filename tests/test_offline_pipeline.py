@@ -115,7 +115,7 @@ def test_dataloader_prefetch_workers_match_sync_loading(store):
     dataset = SimulationDataset(store)
     sync = DataLoader(dataset, batch_size=6, shuffle=True, seed=3, num_workers=0)
     threaded = DataLoader(dataset, batch_size=6, shuffle=True, seed=3, num_workers=3)
-    for (a_in, a_t), (b_in, b_t) in zip(sync, threaded):
+    for (a_in, a_t), (b_in, b_t) in zip(sync, threaded, strict=True):
         assert np.allclose(a_in, b_in)
         assert np.allclose(a_t, b_t)
 
@@ -132,7 +132,7 @@ def _model_factory_for(dataset):
     def factory():
         return build_mlp(
             MLPConfig(in_features=dataset.input_size, hidden_sizes=(16,),
-                      out_features=dataset.field_size, seed=0, dtype=np.float32)
+                out_features=dataset.field_size, seed=0, dtype=np.float32)
         )
 
     return factory
@@ -143,7 +143,7 @@ def test_offline_trainer_single_rank(store):
     inputs, targets = dataset.as_arrays()
     validation = ValidationSet(inputs[:6], targets[:6])
     config = OfflineTrainingConfig(num_epochs=3, batch_size=6, validation_interval=2,
-                                   lr_step_batches=50)
+        lr_step_batches=50)
     trainer = OfflineTrainer(dataset, config, _model_factory_for(dataset), validation=validation)
     result = trainer.run()
     assert result.epochs_completed == 3

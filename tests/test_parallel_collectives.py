@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.parallel.collectives import ring_allreduce, tree_broadcast
-from repro.parallel.spmd import run_spmd
+from repro.parallel.spmd import SPMDFailure, run_spmd
 
 
 @pytest.mark.parametrize("size", [1, 2, 3, 4, 5])
@@ -47,7 +47,7 @@ def test_ring_allreduce_rejects_matrices():
     def main(comm):
         return ring_allreduce(comm, np.zeros((2, 2)))
 
-    with pytest.raises(Exception):
+    with pytest.raises(SPMDFailure):
         run_spmd(2, main)
 
 

@@ -1,0 +1,184 @@
+"""Per-checker positive/negative fixture tests for tools/reprolint.
+
+Each checker has a ``bad_*`` fixture that must produce findings (the test
+that fails before the paired fix/pragma exists) and a ``good_*`` fixture
+exercising the legitimate patterns the checker must not flag — including the
+repo's own idioms (``*_locked`` hooks, condition-variable waits, struct
+method aliases, dataclass ``default_factory`` locks).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))  # ``tools`` lives at the repo root, not under src/
+
+from tools.reprolint import CHECKERS, load_project, run  # noqa: E402
+from tools.reprolint.core import parse_pragmas  # noqa: E402
+
+FIXTURES = REPO_ROOT / "tests" / "reprolint_fixtures"
+
+
+def lint(*names: str):
+    project = load_project([FIXTURES / name for name in names], root=REPO_ROOT)
+    return run(project, CHECKERS)
+
+
+def rules_of(report) -> set:
+    return {finding.rule for finding in report.findings}
+
+
+# ------------------------------------------------------------ lock discipline
+class TestLockDiscipline:
+    def test_bad_fixture_flags_every_unlocked_mutation(self):
+        report = lint("bad_lock_discipline.py")
+        findings = [f for f in report.findings if f.rule == "lock-discipline"]
+        assert len(findings) == 3
+        messages = " ".join(f.message for f in findings)
+        assert "MixedCounter.count" in messages
+        assert "MixedCounter.cache" in messages
+
+    def test_good_fixture_is_clean(self):
+        assert lint("good_lock_discipline.py").clean
+
+
+# ------------------------------------------------------------------ lock order
+class TestLockOrder:
+    def test_bad_fixture_reports_the_cycle(self):
+        report = lint("bad_lock_order.py")
+        findings = [f for f in report.findings if f.rule == "lock-order"]
+        assert len(findings) == 1
+        assert "_accounts_lock" in findings[0].message
+        assert "_journal_lock" in findings[0].message
+
+    def test_good_fixture_is_clean(self):
+        assert lint("good_lock_order.py").clean
+
+
+# ----------------------------------------------------------- blocking under lock
+class TestBlockingUnderLock:
+    def test_bad_fixture_flags_sleep_queue_ops_and_join(self):
+        report = lint("bad_blocking.py")
+        findings = [f for f in report.findings if f.rule == "blocking-under-lock"]
+        assert len(findings) == 4
+        messages = " ".join(f.message for f in findings)
+        assert "sleep" in messages
+        assert ".get()" in messages
+        assert ".put()" in messages
+        assert ".join()" in messages
+
+    def test_good_fixture_exemptions_hold(self):
+        # CV waits on the held lock, dict.get/str.join, non-blocking queue
+        # variants and blocking calls outside locks must all pass.
+        assert lint("good_blocking.py").clean
+
+
+# ------------------------------------------------------------------ fork safety
+class TestForkSafety:
+    def test_bad_fixture_flags_import_time_primitives(self):
+        report = lint("bad_fork_safety.py")
+        findings = [f for f in report.findings if f.rule == "fork-safety"]
+        assert len(findings) == 4
+        messages = " ".join(f.message for f in findings)
+        assert "module scope" in messages
+        assert "class Worker body" in messages
+        assert "SharedMemory" in messages
+
+    def test_good_fixture_per_instance_state_is_clean(self):
+        assert lint("good_fork_safety.py").clean
+
+    def test_unreachable_module_is_not_flagged(self):
+        # Linted together with a fork root that does not import it, the bad
+        # module is outside the fork-visible set and must not be flagged.
+        root_src = "import threading\n\ndef launch():\n    return threading.Thread\n"
+        root = FIXTURES / "launcher.py"  # module part 'launcher' marks a fork root
+        root.write_text(root_src, encoding="utf-8")
+        try:
+            report = lint("launcher.py", "bad_fork_safety.py")
+            assert not [f for f in report.findings if f.rule == "fork-safety"]
+        finally:
+            root.unlink()
+
+
+# ------------------------------------------------------------------ wire layout
+class TestWireLayout:
+    def test_bad_fixture_flags_every_drift_shape(self):
+        report = lint("bad_wire_layout.py")
+        findings = [f for f in report.findings if f.rule == "wire-layout"]
+        assert len(findings) == 5
+        messages = " ".join(f.message for f in findings)
+        assert "packs 17 bytes" in messages  # declared 13 vs calcsize 17
+        assert "no explicit byte order" in messages
+        assert "4 args" in messages  # pack_into arity (buffer + offset + 2 values)
+        assert "3 args" in messages  # alias pack arity
+        assert "needs 32 bytes" in messages  # offset past budget
+
+    def test_good_fixture_and_alias_idioms_are_clean(self):
+        assert lint("good_wire_layout.py").clean
+
+    def test_repo_wire_modules_stay_consistent(self):
+        # The real invariants: messages.py headers and shm_ring.py offset
+        # families must keep matching their declared byte sizes.
+        project = load_project(
+            [
+                REPO_ROOT / "src" / "repro" / "parallel" / "messages.py",
+                REPO_ROOT / "src" / "repro" / "parallel" / "shm_ring.py",
+            ],
+            root=REPO_ROOT,
+        )
+        report = run(project, CHECKERS, rules=["wire-layout"])
+        assert report.clean, [f.render() for f in report.findings]
+
+
+# --------------------------------------------------------------- pragma protocol
+class TestPragmas:
+    def test_justified_pragmas_suppress_inline_and_own_line(self):
+        report = lint("pragma_suppressed.py")
+        assert report.clean
+        assert len(report.suppressed) == 2
+        assert {f.rule for f in report.suppressed} == {"lock-discipline"}
+
+    def test_unjustified_pragma_does_not_suppress(self):
+        report = lint("pragma_misuse.py")
+        assert rules_of(report) == {"lock-discipline", "bad-pragma", "unused-pragma"}
+        assert not report.suppressed
+
+    def test_pragmas_in_string_literals_are_ignored(self):
+        text = 'DOC = "# reprolint: allow[lock-discipline] -- not a comment"\n'
+        assert parse_pragmas(text) == []
+        assert len(parse_pragmas("x = 1  # reprolint: allow[wire-layout] -- why\n")) == 1
+
+
+# ------------------------------------------------------------------------- CLI
+class TestCli:
+    def test_exit_codes_and_json_report(self, tmp_path):
+        from tools.reprolint.__main__ import main
+
+        json_path = tmp_path / "report.json"
+        assert main([str(FIXTURES / "good_blocking.py"), "-q"]) == 0
+        assert (
+            main([str(FIXTURES / "bad_blocking.py"), "-q", "--json", str(json_path)]) == 1
+        )
+        import json
+
+        payload = json.loads(json_path.read_text(encoding="utf-8"))
+        assert payload["checked_files"] == 1
+        assert len(payload["findings"]) == 4
+
+    def test_rules_filter_and_unknown_rule(self, tmp_path):
+        from tools.reprolint.__main__ import main
+
+        assert main([str(FIXTURES / "bad_blocking.py"), "-q", "--rules", "wire-layout"]) == 0
+        assert main([str(FIXTURES / "bad_blocking.py"), "--rules", "nonsense"]) == 2
+
+    def test_summary_rendering(self, tmp_path):
+        from tools.reprolint.__main__ import main
+
+        summary = tmp_path / "summary.md"
+        main([str(FIXTURES / "bad_wire_layout.py"), "-q", "--summary", str(summary)])
+        text = summary.read_text(encoding="utf-8")
+        assert "## reprolint" in text
+        assert "wire-layout" in text

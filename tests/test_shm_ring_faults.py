@@ -45,8 +45,7 @@ def wait_until(predicate, timeout=DEADLINE, interval=0.01):
 def stream_steps(transport, client_id, num_steps, step_delay=0.0, batch_size=1):
     """Run the three-call client contract, streaming ``num_steps`` messages."""
     api = ClientAPI(transport, client_id, send_batch_size=batch_size)
-    api.init_communication(parameters=(1.0, 2.0), num_time_steps=num_steps,
-                           field_shape=FIELD.shape)
+    api.init_communication(parameters=(1.0, 2.0), num_time_steps=num_steps, field_shape=FIELD.shape)
     for step in range(num_steps):
         api.send(step, step * 0.1, (1.0, 2.0), FIELD)
         if step_delay:
@@ -57,7 +56,7 @@ def stream_steps(transport, client_id, num_steps, step_delay=0.0, batch_size=1):
 @pytest.fixture
 def transport():
     transport = ShmRingTransport(num_server_ranks=1, max_concurrent_clients=2,
-                                 ring_slots=32, ring_slot_bytes=8192)
+        ring_slots=32, ring_slot_bytes=8192)
     yield transport
     transport.shutdown()
 
@@ -148,8 +147,8 @@ def test_client_process_killed_mid_stream_then_restart_dedup(transport):
         assert received_before_restart < NUM_STEPS
 
         restarted = _fork_mp().Process(target=stream_steps,
-                                       args=(transport, 0, NUM_STEPS),
-                                       kwargs={"batch_size": 4}, daemon=True)
+            args=(transport, 0, NUM_STEPS),
+            kwargs={"batch_size": 4}, daemon=True)
         restarted.start()
         restarted.join(DEADLINE)
         assert restarted.exitcode == 0
@@ -171,7 +170,7 @@ def test_slow_reader_drop_accounting_matches_transport_stats():
     """With no reader draining, a bounded push times out on the full ring
     and every dropped message lands in ``TransportStats.dropped_messages``."""
     transport = ShmRingTransport(num_server_ranks=1, max_concurrent_clients=1,
-                                 ring_slots=2, ring_slot_bytes=4096)
+        ring_slots=2, ring_slot_bytes=4096)
     try:
         message = TimeStepMessage(client_id=0, time_step=0, payload=FIELD)
         transport.push(0, message)
@@ -187,7 +186,7 @@ def test_slow_reader_drop_accounting_matches_transport_stats():
             transport.push_many(
                 0,
                 [TimeStepMessage(client_id=0, time_step=step, payload=FIELD)
-                 for step in range(3)],
+                    for step in range(3)],
                 timeout=QUEUE_DROP_TIMEOUT,
             )
         assert transport.stats.dropped_messages == 4  # whole batch dropped
@@ -204,8 +203,7 @@ def test_slow_reader_drop_accounting_matches_transport_stats():
 def test_finished_never_overtakes_ring_data(transport):
     """``ClientFinished`` rides the control queue but must be delivered only
     once the client's ring for that rank has drained."""
-    steps = [TimeStepMessage(client_id=0, time_step=step, payload=FIELD)
-             for step in range(6)]
+    steps = [TimeStepMessage(client_id=0, time_step=step, payload=FIELD) for step in range(6)]
     transport.push_many(0, steps)
     transport.push(0, ClientFinished(client_id=0, total_sent=6))
 
@@ -219,11 +217,10 @@ def test_finished_never_overtakes_ring_data(transport):
 
 def test_oversized_batches_split_and_oversized_message_raises():
     transport = ShmRingTransport(num_server_ranks=1, max_concurrent_clients=1,
-                                 ring_slots=8, ring_slot_bytes=512)
+        ring_slots=8, ring_slot_bytes=512)
     try:
         big = np.arange(64, dtype=np.float32)  # 4 packed messages > 512 B
-        batch = [TimeStepMessage(client_id=0, time_step=step, payload=big)
-                 for step in range(4)]
+        batch = [TimeStepMessage(client_id=0, time_step=step, payload=big) for step in range(4)]
         transport.push_many(0, batch)
         received = []
         while len(received) < 4:
@@ -232,8 +229,7 @@ def test_oversized_batches_split_and_oversized_message_raises():
             received.extend(chunk)
         assert received == batch  # order and bytes survive the split
 
-        huge = TimeStepMessage(client_id=0, time_step=9,
-                               payload=np.arange(512, dtype=np.float32))
+        huge = TimeStepMessage(client_id=0, time_step=9, payload=np.arange(512, dtype=np.float32))
         with pytest.raises(WireFormatError, match="ring_slot_bytes"):
             transport.push(0, huge)
         assert transport.stats.dropped_messages == 1
@@ -246,8 +242,8 @@ def test_slot_lease_connect_finish_recycles():
     """Two lease slots serve four sequential clients: connect leases, the
     delivered finished marker releases, and the next client reuses the slot."""
     transport = ShmRingTransport(num_server_ranks=1, max_concurrent_clients=2,
-                                 ring_slots=8, ring_slot_bytes=4096,
-                                 lease_timeout=5.0)
+        ring_slots=8, ring_slot_bytes=4096,
+        lease_timeout=5.0)
     try:
         for client_id in range(4):
             connection = transport.connect(client_id)
@@ -272,8 +268,8 @@ def test_slot_lease_connect_finish_recycles():
 
 def test_slot_lease_exhaustion_raises_actionable_error():
     transport = ShmRingTransport(num_server_ranks=1, max_concurrent_clients=1,
-                                 ring_slots=4, ring_slot_bytes=4096,
-                                 lease_timeout=0.2)
+        ring_slots=4, ring_slot_bytes=4096,
+        lease_timeout=0.2)
     try:
         transport.connect(0)
         began = time.monotonic()
@@ -300,8 +296,8 @@ def test_slot_lease_killed_client_restart_reuses_its_lease(transport):
 
     assert transport._slot_of(0) == slot_before  # lease survives the kill
     restarted = _fork_mp().Process(target=stream_steps,
-                                   args=(transport, 0, NUM_STEPS),
-                                   kwargs={"batch_size": 4}, daemon=True)
+        args=(transport, 0, NUM_STEPS),
+        kwargs={"batch_size": 4}, daemon=True)
     restarted.start()
     restarted.join(DEADLINE)
     assert restarted.exitcode == 0
@@ -323,8 +319,8 @@ def test_slot_lease_force_release_recycles_a_dead_clients_slot():
     """``release_client`` (the launcher's permanent-failure path) frees the
     slot immediately, and the next client can lease it."""
     transport = ShmRingTransport(num_server_ranks=1, max_concurrent_clients=1,
-                                 ring_slots=4, ring_slot_bytes=4096,
-                                 lease_timeout=0.2)
+        ring_slots=4, ring_slot_bytes=4096,
+        lease_timeout=0.2)
     try:
         transport.connect(7)
         transport.push(0, TimeStepMessage(client_id=7, time_step=0, payload=FIELD))
@@ -334,8 +330,7 @@ def test_slot_lease_force_release_recycles_a_dead_clients_slot():
         # The dead client's undrained batch is still delivered (attribution
         # travels in the message, not the lease).
         received = transport.poll_many(0, max_messages=8, timeout=1.0)
-        assert any(isinstance(m, TimeStepMessage) and m.client_id == 7
-                   for m in received)
+        assert any(isinstance(m, TimeStepMessage) and m.client_id == 7 for m in received)
     finally:
         transport.shutdown()
 

@@ -75,7 +75,7 @@ def test_parallel_heat_solver_matches_sequential(num_ranks, heat_params):
     sequential = HeatEquationSolver(config).run(heat_params)
     parallel = ParallelHeatSolver(config, num_ranks=num_ranks).run(heat_params)
     assert len(parallel) == len(sequential)
-    for (t_seq, f_seq), (t_par, f_par) in zip(sequential, parallel):
+    for (t_seq, f_seq), (t_par, f_par) in zip(sequential, parallel, strict=True):
         assert t_seq == pytest.approx(t_par)
         assert np.allclose(f_seq, f_par, atol=1e-6)
 

@@ -31,8 +31,7 @@ FIELD = np.arange(8, dtype=np.float32)
 def stream_steps(transport, client_id, num_steps, step_delay=0.0, batch_size=1):
     """Run the three-call client contract, streaming ``num_steps`` messages."""
     api = ClientAPI(transport, client_id, send_batch_size=batch_size)
-    api.init_communication(parameters=(1.0, 2.0), num_time_steps=num_steps,
-                           field_shape=FIELD.shape)
+    api.init_communication(parameters=(1.0, 2.0), num_time_steps=num_steps, field_shape=FIELD.shape)
     for step in range(num_steps):
         api.send(step, step * 0.1, (1.0, 2.0), FIELD)
         if step_delay:
@@ -199,7 +198,7 @@ def test_launcher_process_mode_restarts_failed_client(transport):
         launcher = Launcher(
             factory, specs,
             LauncherConfig(client_mode="process", max_restarts=2,
-                           process_join_timeout=DEADLINE),
+                process_join_timeout=DEADLINE),
         )
         report = launcher.run()
         assert report.clients_completed == 1
@@ -247,8 +246,8 @@ def test_checkpointed_restart_rewinds_below_client_buffered_steps():
     for rank in range(2):
         buffer = FIFOBuffer(capacity=10 * NUM_STEPS)
         aggregators.append(DataAggregator(rank=rank, router=transport, buffer=buffer,
-                                          expected_clients=1, message_log=MessageLog(),
-                                          poll_timeout=0.02))
+                expected_clients=1, message_log=MessageLog(),
+                poll_timeout=0.02))
     for aggregator in aggregators:
         aggregator.start()
     try:
@@ -302,7 +301,7 @@ def test_buffered_records_do_not_pin_the_packed_batch(transport):
     aggregator, buffer = make_aggregator(transport)
     wire_buffer = pack_many(
         [TimeStepMessage(client_id=0, time_step=step, payload=FIELD)
-         for step in range(4)]
+            for step in range(4)]
     )
     batch = unpack_many(wire_buffer, copy_payloads=True)
     aggregator._handle_many(batch)
@@ -321,7 +320,7 @@ def test_buffered_records_do_not_pin_the_packed_batch(transport):
 def test_mp_round_trip_preserves_order_and_batches(transport):
     """A batched client conversation crosses the process boundary intact."""
     process = _fork_mp().Process(target=stream_steps, args=(transport, 3, 10),
-                          kwargs={"batch_size": 4}, daemon=True)
+        kwargs={"batch_size": 4}, daemon=True)
     process.start()
     process.join(DEADLINE)
     assert process.exitcode == 0

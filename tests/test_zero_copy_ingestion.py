@@ -166,7 +166,7 @@ def test_stack_batch_falls_back_to_staging_copy_for_shuffled_records():
     worker = _worker_stub()
     inputs, targets = worker._stack_batch(batch)
     assert inputs.shape == (4, 4) and targets.shape == (4, FIELD_LEN)
-    for row, record in zip(range(4), batch):
+    for row, record in zip(range(4), batch, strict=True):
         np.testing.assert_array_equal(targets[row], record.target)
         np.testing.assert_array_equal(inputs[row], record.inputs)
 

@@ -1,0 +1,1 @@
+"""Repository tooling (static analysis, release helpers) — not shipped with `repro`."""

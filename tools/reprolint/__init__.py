@@ -1,0 +1,52 @@
+"""reprolint — repo-specific AST static analysis for the repro data path.
+
+Five checkers encode the concurrency and wire-format invariants the code
+review process kept re-discovering by hand (see ``docs/static_analysis.md``):
+
+- ``lock-discipline``   : attributes mutated under a lock anywhere must never
+                          be mutated outside one.
+- ``lock-order``        : the nested lock-acquisition graph must be acyclic.
+- ``blocking-under-lock``: no sleeps / blocking queue ops / joins / semaphore
+                          waits while a lock is held.
+- ``fork-safety``       : no threading primitives, queues, threads or shm
+                          handles created at import time in modules reachable
+                          from forked client code.
+- ``wire-layout``       : ``struct.Struct`` formats, declared ``*_BYTES`` size
+                          constants and packed-header offset families must
+                          agree.
+
+Run with ``python -m tools.reprolint src/``.
+"""
+
+from __future__ import annotations
+
+from tools.reprolint import (
+    check_blocking,
+    check_fork_safety,
+    check_lock_discipline,
+    check_lock_order,
+    check_wire_layout,
+)
+from tools.reprolint.core import Finding, Project, Report, load_project, run
+
+#: All registered checkers, in report order.  Each checker is a module with a
+#: ``RULE`` string and a ``check(project) -> list[Finding]`` function.
+CHECKERS = (
+    check_lock_discipline,
+    check_lock_order,
+    check_blocking,
+    check_fork_safety,
+    check_wire_layout,
+)
+
+ALL_RULES = tuple(checker.RULE for checker in CHECKERS)
+
+__all__ = [
+    "ALL_RULES",
+    "CHECKERS",
+    "Finding",
+    "Project",
+    "Report",
+    "load_project",
+    "run",
+]

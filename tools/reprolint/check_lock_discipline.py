@@ -1,0 +1,51 @@
+"""Checker: attributes mutated under a lock must never be mutated outside one.
+
+Invariant encoded: within a class, ``self.X`` is either a locked object (every
+mutation happens inside ``with self.<lock>`` or a ``*_locked`` caller-holds-it
+hook) or an unlocked one — never both.  Mixed access is exactly the shape of
+the launcher-report ``+=`` race: a counter incremented under a lock on one
+path and bare on another loses updates, because ``+=`` is not atomic.
+
+Construction-time methods (``__init__`` et al.) are exempt: no other thread
+can hold a reference yet.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from tools.reprolint.core import Finding, Project
+from tools.reprolint.locks import CONSTRUCTION_METHODS, Mutation, iter_class_models
+
+RULE = "lock-discipline"
+
+
+def check(project: Project) -> List[Finding]:
+    findings: List[Finding] = []
+    for module in project.modules:
+        for model in iter_class_models(module):
+            locked_attrs = set()
+            unlocked: List[Mutation] = []
+            for name, events in model.functions.items():
+                if name in CONSTRUCTION_METHODS:
+                    continue
+                for mutation in events.mutations:
+                    # Re-assigning the lock itself is creation, not guarded state.
+                    if mutation.attr in model.lock_attrs:
+                        continue
+                    if mutation.held:
+                        locked_attrs.add(mutation.attr)
+                    else:
+                        unlocked.append(mutation)
+            for mutation in unlocked:
+                if mutation.attr in locked_attrs:
+                    findings.append(
+                        Finding(
+                            RULE,
+                            module.rel,
+                            mutation.node.lineno,
+                            f"{model.name}.{mutation.path} is mutated under a lock "
+                            "elsewhere but mutated here with no lock held",
+                        )
+                    )
+    return findings
