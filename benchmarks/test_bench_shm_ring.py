@@ -24,6 +24,7 @@ import time
 
 from transport_fixture import BATCH_SIZE, BATCHES, NUM_BATCHES, REPEATS
 
+from repro.buffers.columns import ColumnBatch
 from repro.launcher.launcher import _fork_mp
 from repro.parallel.messages import pack_many
 from repro.parallel.mp_transport import MultiprocessTransport
@@ -121,9 +122,13 @@ def test_shm_transport_end_to_end_forked_producer():
             process.start()
             drained = 0
             while drained < messages_total:
-                chunk = transport.poll_many(0, max_messages=256, timeout=2.0)
-                assert chunk, "transport stalled while draining"
-                drained += len(chunk)
+                # Columnar drain: whole chunks per wire batch, each counting
+                # its sample rows against the budget (what the server runs).
+                items = transport.poll_batches(0, max_messages=256, timeout=2.0)
+                assert items, "transport stalled while draining"
+                drained += sum(
+                    len(item) if isinstance(item, ColumnBatch) else 1 for item in items
+                )
             elapsed = time.perf_counter() - began
             process.join(10)
             best = min(best, elapsed)

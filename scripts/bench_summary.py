@@ -1,19 +1,28 @@
 #!/usr/bin/env python
-"""Render a benchmark report (see ``repro.utils.constants``) as a Markdown table.
+"""Render a benchmark report as Markdown and gate it against a baseline.
 
 CI appends the output to ``$GITHUB_STEP_SUMMARY`` after the benchmark smoke
-steps so every PR shows its measured speedups next to the enforced floors:
+steps so every PR shows its measured speedups next to the enforced floors,
+and fails the benchmark job when any speedup regresses by more than the
+tolerance against the committed trajectory baseline:
 
-    python scripts/bench_summary.py bench_report.json >> "$GITHUB_STEP_SUMMARY"
+    python scripts/bench_summary.py bench_report.json \\
+        --baseline BENCH_PR8.json >> "$GITHUB_STEP_SUMMARY"
+
+The gate compares *speedups* (ratios of two timings from the same run), not
+absolute rates: ratios stay comparable across runner generations where
+msg/s numbers do not.  A result present in the baseline but absent from the
+report is reported as a warning, not a failure, so a skipped smoke step does
+not mask itself as a pass of the full matrix.
 """
 
+import argparse
 import json
 import sys
 from pathlib import Path
 
 
-def render(report_path: Path) -> str:
-    report = json.loads(report_path.read_text())
+def render(report: dict) -> str:
     lines = [
         "## Benchmark speedups",
         "",
@@ -33,15 +42,85 @@ def render(report_path: Path) -> str:
     return "\n".join(lines)
 
 
+def check_trajectory(report: dict, baseline: dict, tolerance: float) -> tuple:
+    """Compare report speedups against the baseline trajectory.
+
+    Returns ``(regressions, warnings)``: ``regressions`` lists every
+    benchmark whose speedup fell below ``(1 - tolerance) *`` its baseline
+    value, ``warnings`` every baseline benchmark missing from the report.
+    """
+    measured = {
+        entry["name"]: entry["speedup"]
+        for entry in report.get("results", [])
+        if "name" in entry and "speedup" in entry
+    }
+    regressions = []
+    warnings = []
+    for entry in sorted(baseline.get("results", []), key=lambda e: e.get("name", "")):
+        name = entry.get("name")
+        recorded = entry.get("speedup")
+        if name is None or recorded is None:
+            continue
+        if name not in measured:
+            warnings.append(f"`{name}`: in baseline ({recorded:g}x) but not measured")
+            continue
+        floor = (1.0 - tolerance) * recorded
+        if measured[name] < floor:
+            regressions.append(
+                f"`{name}`: {measured[name]:g}x < {floor:g}x "
+                f"(baseline {recorded:g}x, tolerance {tolerance:.0%})"
+            )
+    return regressions, warnings
+
+
+def render_trajectory(regressions: list, warnings: list, baseline_path: Path) -> str:
+    lines = [f"### Trajectory vs `{baseline_path.name}`", ""]
+    if regressions:
+        lines.append("**REGRESSED** — speedups below the tolerance band:")
+        lines.extend(f"- {item}" for item in regressions)
+    else:
+        lines.append("All measured speedups within tolerance of the baseline.")
+    if warnings:
+        lines.append("")
+        lines.append("Not measured this run:")
+        lines.extend(f"- {item}" for item in warnings)
+    lines.append("")
+    return "\n".join(lines)
+
+
 def main(argv: list) -> int:
-    if len(argv) != 2:
-        print(__doc__, file=sys.stderr)
-        return 2
-    report_path = Path(argv[1])
-    if not report_path.exists():
-        print(f"(no benchmark report at {report_path})")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report", type=Path, help="bench report JSON to summarise")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed trajectory JSON to gate against (e.g. BENCH_PR8.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional speedup regression vs the baseline (default 0.2)",
+    )
+    args = parser.parse_args(argv[1:])
+    if not args.report.exists():
+        print(f"(no benchmark report at {args.report})")
         return 0
-    print(render(report_path))
+    report = json.loads(args.report.read_text())
+    print(render(report))
+    if args.baseline is None:
+        return 0
+    if not args.baseline.exists():
+        print(f"(no baseline at {args.baseline})", file=sys.stderr)
+        return 2
+    baseline = json.loads(args.baseline.read_text())
+    regressions, warnings = check_trajectory(report, baseline, args.tolerance)
+    print(render_trajectory(regressions, warnings, args.baseline))
+    if regressions:
+        for item in regressions:
+            print(f"benchmark regression: {item}", file=sys.stderr)
+        return 1
     return 0
 
 

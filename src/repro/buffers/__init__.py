@@ -11,9 +11,15 @@ production rate from the GPU consumption rate so the GPU never starves.
 * :class:`ReservoirBuffer` — the paper's contribution: seen/unseen bookkeeping,
   eviction of already *seen* samples on write when full, uniform selection with
   replacement across seen+unseen, threshold lifted at end of reception.
+
+Storage is columnar (structure-of-arrays): every buffer backs its samples
+with a preallocated :class:`~repro.buffers.columns.ColumnStore` and the hot
+path moves :class:`~repro.buffers.columns.ColumnBatch` chunks — see
+``docs/data_path.md`` for the layout and ownership rules.
 """
 
 from repro.buffers.base import BufferClosedError, SampleRecord, TrainingBuffer
+from repro.buffers.columns import ColumnBatch, ColumnStore
 from repro.buffers.fifo import FIFOBuffer
 from repro.buffers.firo import FIROBuffer
 from repro.buffers.reservoir import ReservoirBuffer
@@ -22,6 +28,8 @@ from repro.buffers.stats import BufferStatistics, OccurrenceTracker, expected_re
 __all__ = [
     "TrainingBuffer",
     "SampleRecord",
+    "ColumnBatch",
+    "ColumnStore",
     "BufferClosedError",
     "FIFOBuffer",
     "FIROBuffer",

@@ -1,32 +1,45 @@
-"""Common interface and bookkeeping of the training buffers."""
+"""Common interface and bookkeeping of the training buffers.
+
+Since the columnar rebuild, every concrete buffer is a *policy over row
+slots*: samples live in the preallocated column blocks of a
+:class:`~repro.buffers.columns.ColumnStore`, and the policy hooks only
+decide which slot indices a put writes and a get drains.  The blocking /
+threshold / exhaustion contract is unchanged from the per-record era and is
+implemented once, here.
+"""
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.buffers.columns import ColumnBatch, ColumnStore, SampleRecord
 from repro.utils.exceptions import BufferClosedError
 
 Array = np.ndarray
 
-__all__ = ["SampleRecord", "TrainingBuffer", "BufferClosedError", "contiguous_rows"]
+__all__ = [
+    "SampleRecord",
+    "ColumnBatch",
+    "TrainingBuffer",
+    "BufferClosedError",
+    "contiguous_rows",
+]
 
 
 def contiguous_rows(arrays: List[Array]) -> Optional[Array]:
     """Zero-copy ``(n, ...)`` view over rows that are physically consecutive.
 
-    The batched ingestion path hands every record of a drained chunk a view
-    into one shared block (the adopted payload block, the vectorized inputs
-    matrix).  When such records are later drawn *in order* — a FIFO batch,
-    or any batch that happens to preserve arrival adjacency — their rows
-    still sit back to back in memory, and stacking them for the nn forward
-    pass needs no copy at all: this helper detects that case and returns a
-    strided view over the underlying block.  Returns ``None`` whenever the
-    rows are not provably consecutive same-layout views of one base buffer
-    (the caller then falls back to a gathering copy).
+    The columnar path hands every record of a gathered batch a view into one
+    shared block (the batch's inputs/targets matrices).  When such records
+    are kept in order their rows still sit back to back in memory, and
+    stacking them for the nn forward pass needs no copy at all: this helper
+    detects that case and returns a strided view over the underlying block.
+    Returns ``None`` whenever the rows are not provably consecutive
+    same-layout views of one base buffer (the caller then falls back to a
+    gathering copy).
     """
     first = arrays[0]
     base = first.base
@@ -37,7 +50,7 @@ def contiguous_rows(arrays: List[Array]) -> Optional[Array]:
     dtype = first.dtype
     ptr = first.__array_interface__["data"][0]
     for row in arrays[1:]:
-        if (row.base is not base or row.dtype is not dtype
+        if (row.base is not base or row.dtype != dtype
                 or row.shape != shape or not row.flags.c_contiguous):
             return None
         next_ptr = row.__array_interface__["data"][0]
@@ -47,32 +60,6 @@ def contiguous_rows(arrays: List[Array]) -> Optional[Array]:
     return np.lib.stride_tricks.as_strided(
         first, shape=(len(arrays),) + shape, strides=(row_nbytes,) + first.strides
     )
-
-
-@dataclass(frozen=True)
-class SampleRecord:
-    """One training sample held by a buffer.
-
-    Attributes
-    ----------
-    inputs:
-        The surrogate input vector ``(X, t)``.
-    target:
-        The flattened field ``u_t_X`` (float32).
-    source_id:
-        Identifier of the producing simulation (ensemble member).
-    time_step:
-        Time-step index within that simulation.
-    """
-
-    inputs: Array
-    target: Array
-    source_id: int = -1
-    time_step: int = -1
-
-    def key(self) -> Tuple[int, int]:
-        """Unique identity of the sample within a study."""
-        return (self.source_id, self.time_step)
 
 
 class TrainingBuffer:
@@ -88,11 +75,24 @@ class TrainingBuffer:
       lifts the threshold and (for policies that retain data) switches the
       buffer into draining mode.
 
-    Batches are built by :meth:`get_batch`, which acquires the lock once and
-    delegates to the policy hook :meth:`_get_batch_locked` (vectorized in the
-    concrete buffers); bulk insertion goes through :meth:`put_many` and
-    :meth:`_put_many_locked`.  Both preserve the blocking / threshold /
-    exhaustion contract of the per-sample :meth:`get` / :meth:`put` path.
+    Storage is columnar: a :class:`ColumnStore` holds the samples as
+    ``(capacity, d_in)`` float64 inputs, ``(capacity, d_out)`` float32
+    targets and int64 id/step vectors.  Policies implement three slot hooks:
+
+    * :meth:`_take_slots_locked` — allocate row slots for a put (evicting
+      per policy when full);
+    * :meth:`_draw_slot_locked` — pick one slot for a per-sample get,
+      consuming it per policy (the scalar-RNG reference path);
+    * :meth:`_draw_slots_locked` — pick a batch of slots with one vectorized
+      RNG call, matching the per-sample path draw for draw.
+
+    The base class turns slots into data: :meth:`put_many` accepts either a
+    record list or a :class:`ColumnBatch` (whose columns are written with
+    one fancy-indexed write per column), and :meth:`get_batch_columns`
+    returns the drained rows as a ``ColumnBatch`` gathered under the lock —
+    crucially *before* the slots can be rewritten, so the batch owns its
+    rows.  :meth:`get_batch` is the same draw delivered as the
+    :class:`SampleRecord` compatibility view.
     """
 
     def __init__(self, capacity: int, threshold: int = 0) -> None:
@@ -104,6 +104,7 @@ class TrainingBuffer:
             raise ValueError("threshold cannot exceed capacity")
         self.capacity = int(capacity)
         self.threshold = int(threshold)
+        self._store = ColumnStore(self.capacity)
         self._lock = threading.Condition()
         self._reception_over = False
         self._closed = False
@@ -121,39 +122,38 @@ class TrainingBuffer:
     def _can_get_locked(self) -> bool:
         raise NotImplementedError
 
-    def _do_put_locked(self, record: SampleRecord) -> None:
+    def _take_slots_locked(self, want: int) -> Array:
+        """Allocate up to ``want`` row slots for a put; lock held,
+        ``_can_put_locked()`` True — at least one slot must be returned.
+
+        The policy records the slots as live (in arrival order) and performs
+        any eviction its semantics call for; evicted slots may be reused
+        within the same call.
+        """
         raise NotImplementedError
 
-    def _do_get_locked(self) -> SampleRecord:
+    def _draw_slot_locked(self) -> int:
+        """Consume and return one slot; lock held, ``_can_get_locked()`` True.
+
+        The scalar reference path: one RNG call per sample, kept draw-for-
+        draw identical to the pre-columnar per-sample semantics.
+        """
         raise NotImplementedError
 
-    def _get_batch_locked(self, max_count: int) -> List[SampleRecord]:
-        """Draw up to ``max_count`` samples; lock held, ``_can_get_locked()`` True.
+    def _draw_slots_locked(self, max_count: int) -> Array:
+        """Draw up to ``max_count`` slots; lock held, ``_can_get_locked()`` True.
 
-        The default implementation repeats the per-sample hook and therefore
-        matches it exactly; concrete buffers override it with a vectorized
-        draw (one RNG call for the whole batch).  Implementations must stop
-        as soon as another draw would violate the policy's threshold/drain
-        invariants, i.e. exactly when ``_can_get_locked()`` turns False.
+        The default repeats the per-sample hook and therefore matches it
+        exactly; concrete buffers override it with a vectorized draw (one
+        RNG call for the whole batch).  Implementations must stop as soon as
+        another draw would violate the policy's threshold/drain invariants,
+        i.e. exactly when ``_can_get_locked()`` turns False.  Policies that
+        sample with replacement may return duplicate slots.
         """
-        drawn: List[SampleRecord] = []
-        while len(drawn) < max_count and self._can_get_locked():
-            drawn.append(self._do_get_locked())
-        return drawn
-
-    def _put_many_locked(self, records: List[SampleRecord]) -> int:
-        """Insert a prefix of ``records``; lock held, ``_can_put_locked()`` True.
-
-        Returns the number of records inserted.  The default repeats the
-        per-sample hook; concrete buffers override it with a bulk insert.
-        """
-        count = 0
-        for record in records:
-            if not self._can_put_locked():
-                break
-            self._do_put_locked(record)
-            count += 1
-        return count
+        slots: List[int] = []
+        while len(slots) < max_count and self._can_get_locked():
+            slots.append(self._draw_slot_locked())
+        return np.asarray(slots, dtype=np.intp)
 
     # ------------------------------------------------------------------- api
     def __len__(self) -> int:
@@ -181,7 +181,8 @@ class TrainingBuffer:
                 raise TimeoutError("timed out waiting for buffer space")
             if self._closed:
                 raise BufferClosedError("buffer closed while waiting to put")
-            self._do_put_locked(record)
+            slots = self._take_slots_locked(1)
+            self._store.write_record(int(slots[0]), record)
             self.total_put += 1
             self._lock.notify_all()
 
@@ -192,49 +193,70 @@ class TrainingBuffer:
                 raise BufferClosedError("cannot put into a closed buffer")
             if not self._can_put_locked():
                 return False
-            self._do_put_locked(record)
+            slots = self._take_slots_locked(1)
+            self._store.write_record(int(slots[0]), record)
             self.total_put += 1
             self._lock.notify_all()
             return True
 
     def put_many(
-        self, records: List[SampleRecord], timeout: Optional[float] = None
+        self,
+        records: Union[Sequence[SampleRecord], ColumnBatch],
+        timeout: Optional[float] = None,
     ) -> int:
         """Insert many samples under a single lock acquisition.
 
+        Accepts a list of records or, on the hot path, a
+        :class:`ColumnBatch` whose rows are written into the column store
+        with one fancy-indexed write per column — no per-sample loop.
+
         Blocks while the buffer cannot accept more data, inserting in bulk
-        whenever space frees up.  Returns the number of records inserted:
-        ``len(records)`` when ``timeout`` is None (full blocking insert), or
+        whenever space frees up.  Returns the number of samples inserted:
+        all of them when ``timeout`` is None (full blocking insert), or
         possibly fewer when a ``timeout`` is given and it expires while
         waiting for space — the caller can retry with the remaining suffix,
         which is what lets the aggregator's shutdown path stay responsive.
 
-        Ownership contract: the buffer *adopts* each record's arrays as-is —
-        no defensive copy is made on insertion, and the arrays may be views
-        into a block shared by the rest of the chunk (the zero-copy
-        ingestion path).  Callers must hand in records whose memory is
-        immutable for the record's lifetime; in exchange, a block stays
-        allocated until the last record viewing it is evicted (a bounded,
-        chunk-sized over-retention that buys the copy-free hot path).
+        Ownership contract: the dense store *copies* each inserted row into
+        its preallocated columns — for an adopted wire chunk this is the one
+        and only copy on the put side — so the caller's chunk is dead the
+        moment ``put_many`` returns and pins no memory.  (The ragged
+        object-rows fallback adopts row references instead; callers hand in
+        rows that stay immutable, as before.)
 
         Raises :class:`BufferClosedError` when the buffer is (or becomes)
         closed, mirroring :meth:`put`.
         """
-        records = list(records)
+        if isinstance(records, ColumnBatch):
+            batch = records
+            total = len(batch)
+
+            def write(slots: Array, offset: int) -> None:
+                self._store.write_batch(slots, batch, offset)
+
+        else:
+            items = list(records)
+            total = len(items)
+
+            def write(slots: Array, offset: int) -> None:
+                self._store.write_records(slots, items, offset)
+
         inserted = 0
         with self._lock:
             if self._closed:
                 raise BufferClosedError("cannot put into a closed buffer")
-            while inserted < len(records):
+            while inserted < total:
                 if not self._lock.wait_for(
                     lambda: self._can_put_locked() or self._closed, timeout=timeout
                 ):
                     return inserted
                 if self._closed:
                     raise BufferClosedError("buffer closed while waiting to put")
-                count = self._put_many_locked(records[inserted:])
+                slots = self._take_slots_locked(total - inserted)
+                count = len(slots)
                 if count <= 0:  # defensive: a policy must accept >= 1 here
                     break
+                write(slots, inserted)
                 inserted += count
                 self.total_put += count
                 self._lock.notify_all()
@@ -255,45 +277,76 @@ class TrainingBuffer:
                 raise TimeoutError("timed out waiting for a sample")
             if self._closed or self._exhausted_locked():
                 return None
-            record = self._do_get_locked()
+            slot = self._draw_slot_locked()
+            record = self._store.record_at(slot)
             self.total_got += 1
             self._lock.notify_all()
             return record
+
+    def _collect_columns(self, batch_size: int, timeout: Optional[float]) -> ColumnBatch:
+        """Shared draw loop of :meth:`get_batch`/:meth:`get_batch_columns`.
+
+        Each piece is gathered from the store *under the lock*, before any
+        producer can recycle the freed slots, so the returned batch owns its
+        rows outright.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        pieces: List[ColumnBatch] = []
+        drawn = 0
+        with self._lock:
+            def ready() -> bool:
+                return self._can_get_locked() or self._exhausted_locked() or self._closed
+
+            while drawn < batch_size:
+                if not self._lock.wait_for(ready, timeout=timeout):
+                    if drawn:
+                        break
+                    raise TimeoutError("timed out waiting for a sample")
+                if self._closed or self._exhausted_locked():
+                    break
+                slots = self._draw_slots_locked(batch_size - drawn)
+                count = len(slots)
+                if count == 0:  # defensive: ready() guaranteed >= 1 available
+                    break
+                pieces.append(self._store.gather(slots))
+                drawn += count
+                self.total_got += count
+                self._lock.notify_all()
+        if not pieces:
+            return self._store.gather(np.empty(0, dtype=np.intp))
+        if len(pieces) == 1:
+            return pieces[0]
+        return ColumnBatch.concat(pieces)
+
+    def get_batch_columns(
+        self, batch_size: int, timeout: Optional[float] = None
+    ) -> ColumnBatch:
+        """Draw ``batch_size`` samples as one :class:`ColumnBatch`.
+
+        The columnar twin of :meth:`get_batch` — same blocking, threshold,
+        partial-batch-on-timeout and exhaustion contract, but the batch
+        reaches the caller as two matrices plus id/step vectors instead of a
+        record list (an empty batch, ``len() == 0``, when exhausted).
+        """
+        return self._collect_columns(batch_size, timeout)
 
     def get_batch(self, batch_size: int, timeout: Optional[float] = None) -> List[SampleRecord]:
         """Draw ``batch_size`` samples (shorter batch only when exhausted).
 
         The whole batch is extracted under a single lock acquisition via the
-        vectorized :meth:`_get_batch_locked` hook; when the policy cannot
+        vectorized :meth:`_draw_slots_locked` hook; when the policy cannot
         supply the full batch yet (population at the threshold) the call
         waits, exactly like repeated :meth:`get` calls would, with
-        ``timeout`` bounding each wait.
+        ``timeout`` bounding each wait.  The result is the
+        :class:`SampleRecord` view of the same columnar draw: records hold
+        row views into the gathered batch's blocks.
 
         ``TimeoutError`` is raised only when the timeout expires with *no*
         sample drawn; a timeout mid-batch returns the partial batch instead,
         so samples already extracted from the buffer are never discarded.
         """
-        if batch_size <= 0:
-            raise ValueError("batch_size must be positive")
-        batch: List[SampleRecord] = []
-        with self._lock:
-            def ready() -> bool:
-                return self._can_get_locked() or self._exhausted_locked() or self._closed
-
-            while len(batch) < batch_size:
-                if not self._lock.wait_for(ready, timeout=timeout):
-                    if batch:
-                        break
-                    raise TimeoutError("timed out waiting for a sample")
-                if self._closed or self._exhausted_locked():
-                    break
-                drawn = self._get_batch_locked(batch_size - len(batch))
-                if not drawn:  # defensive: ready() guaranteed >= 1 available
-                    break
-                self.total_got += len(drawn)
-                batch.extend(drawn)
-                self._lock.notify_all()
-        return batch
+        return self._collect_columns(batch_size, timeout).records()
 
     def get_batch_per_sample(
         self, batch_size: int, timeout: Optional[float] = None

@@ -1,0 +1,345 @@
+"""Columnar (structure-of-arrays) sample storage shared by the data plane.
+
+The wire format is already columnar — a packed batch carries one contiguous
+float64 params block and one float32 payload block — and the training loop
+consumes matrices, so the only reason per-message Python objects ever existed
+between the two was the buffer API.  This module removes that reason:
+
+* :class:`ColumnBatch` is the unit that flows through the hot path: one
+  ``(n, d_in)`` float64 inputs matrix, one ``(n, d_out)`` float32 targets
+  matrix and int64 ``source_id``/``time_step`` vectors, all arrival-ordered.
+  A drained wire chunk becomes a ``ColumnBatch`` with a single block copy
+  (the adoption copy), the buffer inserts it with fancy-indexed row writes,
+  and a gathered batch hands the forward pass its two matrices as-is.
+* :class:`ColumnStore` is the preallocated backing storage of one training
+  buffer: dense column blocks addressed by row slot.  Buffer policies map
+  logical order (FIFO ring, FIRO list, Reservoir seen/unseen) to slot
+  indices; the store only reads and writes rows.
+
+:class:`SampleRecord` lives here too, as the thin per-sample compatibility
+view: ``records()``/``record_at`` materialise row views over the column
+blocks so every pre-columnar consumer (``buffer.get()``, occurrence
+tracking, tests) keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Array = np.ndarray
+
+__all__ = ["SampleRecord", "ColumnBatch", "ColumnStore"]
+
+
+@dataclass(frozen=True)
+class SampleRecord:
+    """One training sample held by a buffer.
+
+    Attributes
+    ----------
+    inputs:
+        The surrogate input vector ``(X, t)``.
+    target:
+        The flattened field ``u_t_X`` (float32).
+    source_id:
+        Identifier of the producing simulation (ensemble member).
+    time_step:
+        Time-step index within that simulation.
+    """
+
+    inputs: Array
+    target: Array
+    source_id: int = -1
+    time_step: int = -1
+
+    def key(self) -> Tuple[int, int]:
+        """Unique identity of the sample within a study."""
+        return (self.source_id, self.time_step)
+
+
+class ColumnBatch:
+    """An arrival-ordered run of samples as parallel columns.
+
+    ``inputs`` is ``(n, d_in)`` float64 and ``targets`` ``(n, d_out)``
+    float32 for the dense hot path; ragged ensembles (mixed parameter or
+    field lengths) degrade to 1-D object arrays holding one row array per
+    sample.  ``sequence_numbers`` is optional — the buffers do not store it,
+    so batches gathered from a store carry ``None``.
+
+    A batch owns its columns (or shares them with sibling slices); nothing
+    downstream mutates them, which is what lets slices and row views be
+    handed out freely.
+    """
+
+    __slots__ = ("inputs", "targets", "source_ids", "time_steps", "sequence_numbers")
+
+    def __init__(
+        self,
+        inputs: Array,
+        targets: Array,
+        source_ids: Array,
+        time_steps: Array,
+        sequence_numbers: Optional[Array] = None,
+    ) -> None:
+        self.inputs = inputs
+        self.targets = targets
+        self.source_ids = source_ids
+        self.time_steps = time_steps
+        self.sequence_numbers = sequence_numbers
+
+    def __len__(self) -> int:
+        return len(self.source_ids)
+
+    def __getitem__(self, index: slice) -> "ColumnBatch":
+        """Slice into a sub-batch of column *views* (no copies)."""
+        if not isinstance(index, slice):
+            raise TypeError("ColumnBatch supports slice indexing only")
+        seq = self.sequence_numbers
+        return ColumnBatch(
+            self.inputs[index],
+            self.targets[index],
+            self.source_ids[index],
+            self.time_steps[index],
+            None if seq is None else seq[index],
+        )
+
+    @property
+    def is_dense(self) -> bool:
+        """False for the ragged (object-rows) fallback representation."""
+        return self.inputs.dtype.kind != "O"
+
+    def compatible_with(self, other: "ColumnBatch") -> bool:
+        """True when ``other``'s rows could be rows of this batch (concat-safe)."""
+        return (
+            self.inputs.dtype == other.inputs.dtype
+            and self.targets.dtype == other.targets.dtype
+            and self.inputs.shape[1:] == other.inputs.shape[1:]
+            and self.targets.shape[1:] == other.targets.shape[1:]
+        )
+
+    def compress(self, keep: Array) -> "ColumnBatch":
+        """Rows where the boolean ``keep`` mask is True, as fresh columns."""
+        seq = self.sequence_numbers
+        return ColumnBatch(
+            self.inputs[keep],
+            self.targets[keep],
+            self.source_ids[keep],
+            self.time_steps[keep],
+            None if seq is None else seq[keep],
+        )
+
+    def keys(self) -> List[Tuple[int, int]]:
+        """Per-row ``(source_id, time_step)`` identities, in order."""
+        return list(zip(self.source_ids.tolist(), self.time_steps.tolist()))
+
+    def records(self) -> List[SampleRecord]:
+        """The per-sample compatibility view: one record per row.
+
+        Dense batches hand out row views sharing this batch's blocks, so a
+        batch of ``n`` records costs ``n`` small objects but zero copies —
+        and arrival-ordered record lists remain stackable back into the
+        underlying matrices without a copy (``contiguous_rows``).
+        """
+        ids = self.source_ids.tolist()
+        steps = self.time_steps.tolist()
+        inputs = self.inputs
+        targets = self.targets
+        return [
+            SampleRecord(inputs[row], targets[row], ids[row], steps[row])
+            for row in range(len(ids))
+        ]
+
+    @classmethod
+    def concat(cls, chunks: Sequence["ColumnBatch"]) -> "ColumnBatch":
+        """Concatenate compatible chunks (see :meth:`compatible_with`)."""
+        if len(chunks) == 1:
+            return chunks[0]
+        seqs = [chunk.sequence_numbers for chunk in chunks]
+        return cls(
+            np.concatenate([chunk.inputs for chunk in chunks]),
+            np.concatenate([chunk.targets for chunk in chunks]),
+            np.concatenate([chunk.source_ids for chunk in chunks]),
+            np.concatenate([chunk.time_steps for chunk in chunks]),
+            None if any(seq is None for seq in seqs) else np.concatenate(seqs),
+        )
+
+    @classmethod
+    def from_records(cls, records: Sequence[SampleRecord]) -> "ColumnBatch":
+        """Columnise a record list (tests and benchmarks; not the hot path)."""
+        count = len(records)
+        source_ids = np.fromiter((r.source_id for r in records), np.int64, count)
+        time_steps = np.fromiter((r.time_step for r in records), np.int64, count)
+        rows = [(np.asarray(r.inputs), np.asarray(r.target)) for r in records]
+        dense = count > 0 and all(
+            inp.ndim == 1
+            and tgt.ndim == 1
+            and inp.shape == rows[0][0].shape
+            and tgt.shape == rows[0][1].shape
+            for inp, tgt in rows
+        )
+        if dense:
+            inputs = np.empty((count, rows[0][0].shape[0]), dtype=np.float64)
+            targets = np.empty((count, rows[0][1].shape[0]), dtype=np.float32)
+            for row, (inp, tgt) in enumerate(rows):
+                inputs[row] = inp
+                targets[row] = tgt
+        else:
+            inputs = np.empty(count, dtype=object)
+            targets = np.empty(count, dtype=object)
+            for row, (inp, tgt) in enumerate(rows):
+                inputs[row] = inp
+                targets[row] = tgt
+        return cls(inputs, targets, source_ids, time_steps)
+
+
+class ColumnStore:
+    """Preallocated structure-of-arrays backing one training buffer.
+
+    The store is pure storage: it never tracks which rows are live.  The
+    owning buffer's policy maps logical positions to row slots and is the
+    single reader/writer, holding the buffer lock around every call — in
+    particular a policy frees slots and gathers their rows under the *same*
+    lock acquisition, so a freed slot can never be overwritten before its
+    row has been copied out.
+
+    The dense blocks are allocated lazily on the first write (row widths are
+    only known then).  Writes into the dense store copy the row data (cast
+    to the column dtypes); that is the single adoption copy of the put path.
+    Ragged ensembles — a row whose shape does not match the allocated
+    columns — migrate the store to 1-D object arrays holding one array per
+    row, which adopt row references instead (the pre-columnar behaviour).
+    """
+
+    __slots__ = ("capacity", "inputs", "targets", "source_ids", "time_steps")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = int(capacity)
+        self.inputs: Optional[Array] = None
+        self.targets: Optional[Array] = None
+        self.source_ids = np.full(self.capacity, -1, dtype=np.int64)
+        self.time_steps = np.full(self.capacity, -1, dtype=np.int64)
+
+    @property
+    def object_rows(self) -> bool:
+        """True once the store fell back to per-row object storage."""
+        return self.inputs is not None and self.inputs.dtype.kind == "O"
+
+    # ------------------------------------------------------------- allocation
+    def _allocate(self, input_shape: Tuple[int, ...], target_shape: Tuple[int, ...]) -> None:
+        if len(input_shape) == 1 and len(target_shape) == 1:
+            self.inputs = np.empty((self.capacity, input_shape[0]), dtype=np.float64)
+            self.targets = np.empty((self.capacity, target_shape[0]), dtype=np.float32)
+        else:
+            self._to_object_rows()
+
+    def _to_object_rows(self) -> None:
+        """Degrade to one arbitrary array per row (mixed-shape ensembles)."""
+        inputs = np.empty(self.capacity, dtype=object)
+        targets = np.empty(self.capacity, dtype=object)
+        if self.inputs is not None and self.inputs.dtype.kind != "O":
+            # Live rows become views into the old dense blocks, which are
+            # never written again once replaced.
+            for slot in range(self.capacity):
+                inputs[slot] = self.inputs[slot]
+                targets[slot] = self.targets[slot]
+        elif self.inputs is not None:
+            inputs[:] = self.inputs
+            targets[:] = self.targets
+        self.inputs = inputs
+        self.targets = targets
+
+    def _fits(self, input_row: Array, target_row: Array) -> bool:
+        return (
+            input_row.ndim == 1
+            and target_row.ndim == 1
+            and input_row.shape[0] == self.inputs.shape[1]
+            and target_row.shape[0] == self.targets.shape[1]
+        )
+
+    # ----------------------------------------------------------------- writes
+    def _write_row(self, slot: int, input_row: Array, target_row: Array) -> None:
+        if self.inputs is None:
+            self._allocate(np.shape(input_row), np.shape(target_row))
+        if not self.object_rows:
+            inp = np.asarray(input_row)
+            tgt = np.asarray(target_row)
+            if self._fits(inp, tgt):
+                self.inputs[slot] = inp
+                self.targets[slot] = tgt
+                return
+            self._to_object_rows()
+        self.inputs[slot] = input_row
+        self.targets[slot] = target_row
+
+    def write_record(self, slot: int, record: SampleRecord) -> None:
+        """Insert one record at ``slot`` (the per-sample compatibility path)."""
+        self._write_row(slot, record.inputs, record.target)
+        self.source_ids[slot] = record.source_id
+        self.time_steps[slot] = record.time_step
+
+    def write_records(self, slots: Array, records: Sequence[SampleRecord], offset: int = 0) -> None:
+        """Insert ``records[offset:offset + len(slots)]`` at ``slots``."""
+        for position, slot in enumerate(slots.tolist()):
+            self.write_record(slot, records[offset + position])
+
+    def write_batch(self, slots: Array, batch: ColumnBatch, offset: int = 0) -> None:
+        """Insert ``batch[offset:offset + len(slots)]`` at ``slots``.
+
+        Matching dense shapes take the vectorized path: one fancy-indexed
+        write per column.  Anything else falls back to per-row writes (and
+        possibly an object-rows migration).
+        """
+        count = len(slots)
+        rows = slice(offset, offset + count)
+        inputs = batch.inputs
+        targets = batch.targets
+        if self.inputs is None and inputs.dtype.kind != "O":
+            self._allocate(inputs.shape[1:], targets.shape[1:])
+        if (
+            inputs.dtype.kind != "O"
+            and not self.object_rows
+            and inputs.shape[1] == self.inputs.shape[1]
+            and targets.shape[1] == self.targets.shape[1]
+        ):
+            self.inputs[slots] = inputs[rows]
+            self.targets[slots] = targets[rows]
+        else:
+            for position, slot in enumerate(slots.tolist()):
+                row = offset + position
+                self._write_row(slot, inputs[row], targets[row])
+        self.source_ids[slots] = batch.source_ids[rows]
+        self.time_steps[slots] = batch.time_steps[rows]
+
+    # ------------------------------------------------------------------ reads
+    def gather(self, slots: Array) -> ColumnBatch:
+        """Rows at ``slots`` as a fresh :class:`ColumnBatch`.
+
+        Fancy indexing copies, so the returned batch owns its columns and
+        stays valid after the slots are recycled.  (Object-rows stores hand
+        out row references instead; those rows are rebound, never mutated.)
+        """
+        ids = self.source_ids[slots]
+        steps = self.time_steps[slots]
+        if self.inputs is None:
+            return ColumnBatch(
+                np.empty((0, 0), dtype=np.float64),
+                np.empty((0, 0), dtype=np.float32),
+                ids,
+                steps,
+            )
+        return ColumnBatch(self.inputs[slots], self.targets[slots], ids, steps)
+
+    def record_at(self, slot: int) -> SampleRecord:
+        """One row as a standalone record (dense rows are copied out)."""
+        if self.object_rows:
+            inputs = self.inputs[slot]
+            target = self.targets[slot]
+        else:
+            inputs = self.inputs[slot].copy()
+            target = self.targets[slot].copy()
+        return SampleRecord(
+            inputs, target, int(self.source_ids[slot]), int(self.time_steps[slot])
+        )

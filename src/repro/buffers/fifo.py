@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import itertools
-from collections import deque
-from typing import Deque, List
+import numpy as np
 
-from repro.buffers.base import SampleRecord, TrainingBuffer
+from repro.buffers.base import TrainingBuffer
+
+Array = np.ndarray
 
 
 class FIFOBuffer(TrainingBuffer):
@@ -17,35 +17,42 @@ class FIFOBuffer(TrainingBuffer):
     is full; consumption blocks when it is empty.  This is the paper's
     streaming baseline whose throughput tracks the instantaneous data
     production rate.
+
+    Columnar layout: the live rows form a ring over the store's slots — two
+    integers (``head``, ``count``) replace the deque, and a put or get is
+    pure index arithmetic (a wrapped ``arange`` of slots).
     """
 
     def __init__(self, capacity: int) -> None:
         super().__init__(capacity=capacity, threshold=0)
-        self._queue: Deque[SampleRecord] = deque()
+        self._head = 0
+        self._count = 0
 
     def _size_locked(self) -> int:
-        return len(self._queue)
+        return self._count
 
     def _can_put_locked(self) -> bool:
-        return len(self._queue) < self.capacity
+        return self._count < self.capacity
 
     def _can_get_locked(self) -> bool:
-        return len(self._queue) > 0
+        return self._count > 0
 
-    def _do_put_locked(self, record: SampleRecord) -> None:
-        self._queue.append(record)
+    def _take_slots_locked(self, want: int) -> Array:
+        take = min(want, self.capacity - self._count)
+        tail = self._head + self._count
+        slots = np.arange(tail, tail + take, dtype=np.intp) % self.capacity
+        self._count += take
+        return slots
 
-    def _do_get_locked(self) -> SampleRecord:
-        return self._queue.popleft()
+    def _draw_slot_locked(self) -> int:
+        slot = self._head
+        self._head = (self._head + 1) % self.capacity
+        self._count -= 1
+        return slot
 
-    def _get_batch_locked(self, max_count: int) -> List[SampleRecord]:
-        take = min(max_count, len(self._queue))
-        drawn = list(itertools.islice(self._queue, take))
-        for _ in range(take):
-            self._queue.popleft()
-        return drawn
-
-    def _put_many_locked(self, records: List[SampleRecord]) -> int:
-        take = min(self.capacity - len(self._queue), len(records))
-        self._queue.extend(records[:take])
-        return take
+    def _draw_slots_locked(self, max_count: int) -> Array:
+        take = min(max_count, self._count)
+        slots = np.arange(self._head, self._head + take, dtype=np.intp) % self.capacity
+        self._head = (self._head + take) % self.capacity
+        self._count -= take
+        return slots

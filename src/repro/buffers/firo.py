@@ -4,9 +4,13 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.buffers.base import SampleRecord, TrainingBuffer
+import numpy as np
+
+from repro.buffers.base import TrainingBuffer
 from repro.buffers.sampling import sample_without_replacement
 from repro.utils.seeding import derive_rng
+
+Array = np.ndarray
 
 
 class FIROBuffer(TrainingBuffer):
@@ -24,56 +28,71 @@ class FIROBuffer(TrainingBuffer):
     Each sample is still seen exactly once, so the consumption rate cannot
     exceed the production rate in steady state — the limitation the Reservoir
     removes.
+
+    Columnar layout: ``_slots`` is the position-addressed list of live row
+    slots (the old record list, with integers in place of records) and
+    ``_free`` the stack of unused slots; random eviction is the same
+    swap-with-tail on ``_slots``, so the RNG consumption — and hence the
+    drawn sequence — is unchanged from the per-record implementation.
     """
 
     def __init__(self, capacity: int, threshold: int = 0, seed: int = 0) -> None:
         super().__init__(capacity=capacity, threshold=threshold)
-        self._items: List[SampleRecord] = []
+        self._slots: List[int] = []
+        self._free: List[int] = list(range(capacity - 1, -1, -1))  # pop() -> 0, 1, ...
         self._rng = derive_rng("firo-buffer", seed)
 
     def _size_locked(self) -> int:
-        return len(self._items)
+        return len(self._slots)
 
     def _can_put_locked(self) -> bool:
-        return len(self._items) < self.capacity
+        return len(self._slots) < self.capacity
 
     def _can_get_locked(self) -> bool:
-        if not self._items:
+        if not self._slots:
             return False
         if self._reception_over:
             # Threshold released at end of reception: drain whatever remains.
             return True
-        return len(self._items) > self.threshold
+        return len(self._slots) > self.threshold
 
-    def _do_put_locked(self, record: SampleRecord) -> None:
-        self._items.append(record)
+    def _take_slots_locked(self, want: int) -> Array:
+        take = min(want, self.capacity - len(self._slots))
+        free = self._free
+        # Slice instead of ``take`` repeated pop() calls: same slots in the
+        # same (reversed-tail) order, without a Python-level loop.
+        taken = free[-take:][::-1] if take else []
+        del free[len(free) - take :]
+        self._slots.extend(taken)
+        return np.asarray(taken, dtype=np.intp)
 
-    def _do_get_locked(self) -> SampleRecord:
-        index = int(self._rng.integers(len(self._items)))
+    def _draw_slot_locked(self) -> int:
+        slots = self._slots
+        index = int(self._rng.integers(len(slots)))
         # Swap-remove keeps eviction O(1); order within the list is irrelevant
         # because reads pick uniformly random positions anyway.
-        self._items[index], self._items[-1] = self._items[-1], self._items[index]
-        return self._items.pop()
+        slot = slots[index]
+        slots[index] = slots[-1]
+        slots.pop()
+        self._free.append(slot)
+        return slot
 
-    def _get_batch_locked(self, max_count: int) -> List[SampleRecord]:
+    def _draw_slots_locked(self, max_count: int) -> Array:
         # Sequential uniform draws from the shrinking population are exactly a
         # uniform without-replacement sample, so the whole batch needs one
         # vectorized RNG call.  While reception is ongoing the population may
         # only be drawn down to the threshold.
-        available = len(self._items)
+        available = len(self._slots)
         if not self._reception_over:
             available -= self.threshold
         take = min(max_count, available)
         if take <= 0:
-            return []
-        chosen = sample_without_replacement(self._rng, len(self._items), take)
-        batch = [self._items[index] for index in chosen]
+            return np.empty(0, dtype=np.intp)
+        chosen = sample_without_replacement(self._rng, len(self._slots), take)
+        slots = self._slots
+        drawn = [slots[index] for index in chosen]
         for index in sorted(chosen, reverse=True):
-            self._items[index] = self._items[-1]
-            self._items.pop()
-        return batch
-
-    def _put_many_locked(self, records: List[SampleRecord]) -> int:
-        take = min(self.capacity - len(self._items), len(records))
-        self._items.extend(records[:take])
-        return take
+            slots[index] = slots[-1]
+            slots.pop()
+        self._free.extend(drawn)
+        return np.asarray(drawn, dtype=np.intp)

@@ -14,15 +14,25 @@ The Reservoir distinguishes *unseen* samples (never selected in a batch) from
 * blocks batch extraction until the population exceeds the threshold, and
   lifts the blocking once data reception is over, after which samples are
   removed as they are drawn until the buffer empties out and training stops.
+
+Columnar layout: the seen/unseen lists hold row-slot integers instead of
+records (plus a free-slot stack); every list operation — swap-with-tail
+eviction, unseen→seen migration — is performed on the same positions as the
+per-record implementation, so RNG consumption and the drawn sequences are
+unchanged.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
+import numpy as np
+
 from repro.buffers.base import SampleRecord, TrainingBuffer
 from repro.buffers.sampling import sample_with_replacement, sample_without_replacement
 from repro.utils.seeding import derive_rng
+
+Array = np.ndarray
 
 
 class ReservoirBuffer(TrainingBuffer):
@@ -30,8 +40,9 @@ class ReservoirBuffer(TrainingBuffer):
 
     def __init__(self, capacity: int, threshold: int = 0, seed: int = 0) -> None:
         super().__init__(capacity=capacity, threshold=threshold)
-        self._seen: List[SampleRecord] = []
-        self._not_seen: List[SampleRecord] = []
+        self._seen: List[int] = []
+        self._not_seen: List[int] = []
+        self._free: List[int] = list(range(capacity - 1, -1, -1))  # pop() -> 0, 1, ...
         self._rng = derive_rng("reservoir-buffer", seed)
         # Counters used by the experiments.
         self.evicted_seen = 0
@@ -69,34 +80,30 @@ class ReservoirBuffer(TrainingBuffer):
         # lines 21-22).
         return len(self._not_seen) < self.capacity
 
-    def _do_put_locked(self, record: SampleRecord) -> None:
-        if len(self._not_seen) + len(self._seen) >= self.capacity:
-            # Evict one random already-seen sample to make room (lines 24-26).
-            index = int(self._rng.integers(len(self._seen)))
-            self._seen[index] = self._seen[-1]
-            self._seen.pop()
-            self.evicted_seen += 1
-        self._not_seen.append(record)
-
-    def _put_many_locked(self, records: List[SampleRecord]) -> int:
+    def _take_slots_locked(self, want: int) -> Array:
         # Per-sample semantics: each insert beyond a full buffer evicts one
         # uniformly random *seen* sample; sequential uniform evictions from the
         # shrinking seen list are a uniform without-replacement set, so all
-        # victims are picked with one vectorized RNG call.
-        count = min(len(records), self.capacity - len(self._not_seen))
-        if count <= 0:
-            return 0
+        # victims are picked with one vectorized RNG call (lines 24-26).
+        count = min(want, self.capacity - len(self._not_seen))
         total = len(self._seen) + len(self._not_seen)
         free = max(0, self.capacity - total)
         evictions = count - free
         if evictions > 0:
             victims = sample_without_replacement(self._rng, len(self._seen), evictions)
+            seen = self._seen
             for index in sorted(victims, reverse=True):
-                self._seen[index] = self._seen[-1]
-                self._seen.pop()
+                self._free.append(seen[index])
+                seen[index] = seen[-1]
+                seen.pop()
             self.evicted_seen += evictions
-        self._not_seen.extend(records[:count])
-        return count
+        free_slots = self._free
+        # Slice instead of ``count`` repeated pop() calls: same slots in the
+        # same (reversed-tail) order, without a Python-level loop.
+        taken = free_slots[-count:][::-1] if count else []
+        del free_slots[len(free_slots) - count :]
+        self._not_seen.extend(taken)
+        return np.asarray(taken, dtype=np.intp)
 
     # ------------------------------------------------------------------- get
     def _can_get_locked(self) -> bool:
@@ -108,75 +115,81 @@ class ReservoirBuffer(TrainingBuffer):
             return True
         return total > self.threshold
 
-    def _do_get_locked(self) -> SampleRecord:
+    def _draw_slot_locked(self) -> int:
         total = len(self._seen) + len(self._not_seen)
         index = int(self._rng.integers(total))
         if index < len(self._not_seen):
             # Selected an unseen sample: remove it from the unseen list and,
             # while reception is ongoing, keep it around in the seen list.
-            record = self._not_seen[index]
+            slot = self._not_seen[index]
             self._not_seen[index] = self._not_seen[-1]
             self._not_seen.pop()
             if not self._reception_over:
-                self._seen.append(record)
+                self._seen.append(slot)
+            else:
+                self._free.append(slot)
         else:
             seen_index = index - len(self._not_seen)
-            record = self._seen[seen_index]
+            slot = self._seen[seen_index]
             self.repeated_reads += 1
             if self._reception_over:
                 # Drain mode: empty the buffer as samples are consumed.
                 self._seen[seen_index] = self._seen[-1]
                 self._seen.pop()
-        return record
+                self._free.append(slot)
+        return slot
 
-    def _at_locked(self, index: int) -> SampleRecord:
-        """Sample at ``index`` in the unseen-then-seen population ordering."""
+    def _slot_at_locked(self, index: int) -> int:
+        """Slot at ``index`` in the unseen-then-seen population ordering."""
         num_unseen = len(self._not_seen)
         if index < num_unseen:
             return self._not_seen[index]
         return self._seen[index - num_unseen]
 
-    def _get_batch_locked(self, max_count: int) -> List[SampleRecord]:
+    def _draw_slots_locked(self, max_count: int) -> Array:
         total = len(self._seen) + len(self._not_seen)
         if total == 0:
-            return []
+            return np.empty(0, dtype=np.intp)
         num_unseen = len(self._not_seen)
         if self._reception_over:
             # Drain mode: every draw removes its sample, so sequential uniform
             # draws are a uniform without-replacement sample of the snapshot.
             take = min(max_count, total)
             chosen = sample_without_replacement(self._rng, total, take)
-            batch = [self._at_locked(index) for index in chosen]
+            drawn = [self._slot_at_locked(index) for index in chosen]
             unseen_idx = [i for i in chosen if i < num_unseen]
             seen_idx = [i - num_unseen for i in chosen if i >= num_unseen]
             self.repeated_reads += len(seen_idx)
             for index in sorted(unseen_idx, reverse=True):
+                self._free.append(self._not_seen[index])
                 self._not_seen[index] = self._not_seen[-1]
                 self._not_seen.pop()
             for index in sorted(seen_idx, reverse=True):
+                self._free.append(self._seen[index])
                 self._seen[index] = self._seen[-1]
                 self._seen.pop()
-            return batch
+            return np.asarray(drawn, dtype=np.intp)
         # Reception ongoing: draws never shrink the population (unseen samples
         # merely move to the seen list), so the batch is iid uniform *with*
         # replacement over a fixed snapshot — one vectorized RNG call.  A
         # repeat of an unseen sample counts as a repeated read from its second
-        # occurrence on, matching the per-sample bookkeeping.
+        # occurrence on, matching the per-sample bookkeeping.  The returned
+        # slot array may therefore contain duplicates.
         chosen = sample_with_replacement(self._rng, total, max_count)
-        batch = []
+        drawn = []
         newly_seen = set()
         for index in chosen:
             if index < num_unseen:
-                batch.append(self._not_seen[index])
+                drawn.append(self._not_seen[index])
                 newly_seen.add(index)
             else:
-                batch.append(self._seen[index - num_unseen])
+                drawn.append(self._seen[index - num_unseen])
         self.repeated_reads += max_count - len(newly_seen)
         for index in sorted(newly_seen, reverse=True):
             self._seen.append(self._not_seen[index])
             self._not_seen[index] = self._not_seen[-1]
             self._not_seen.pop()
-        return batch
+        return np.asarray(drawn, dtype=np.intp)
 
     # -------------------------------------------------------------- sampling
     def sample_without_replacement(self, batch_size: int) -> Optional[List[SampleRecord]]:
@@ -194,24 +207,26 @@ class ReservoirBuffer(TrainingBuffer):
             if total < batch_size or (not self._reception_over and total <= self.threshold):
                 return None
             chosen = self._rng.choice(total, size=batch_size, replace=False)
-            batch: List[SampleRecord] = []
+            slots: List[int] = []
             # Process indices in decreasing order so removals do not shift the
             # positions of indices still to be processed.
             for index in sorted((int(i) for i in chosen), reverse=True):
                 if index < len(self._not_seen):
-                    record = self._not_seen[index]
+                    slot = self._not_seen[index]
                     self._not_seen[index] = self._not_seen[-1]
                     self._not_seen.pop()
                     if not self._reception_over:
-                        self._seen.append(record)
+                        self._seen.append(slot)
                 else:
                     seen_index = index - len(self._not_seen)
-                    record = self._seen[seen_index]
+                    slot = self._seen[seen_index]
                     self.repeated_reads += 1
                     if self._reception_over:
                         self._seen[seen_index] = self._seen[-1]
                         self._seen.pop()
-                batch.append(record)
+                        self._free.append(slot)
+                slots.append(slot)
                 self.total_got += 1
+            batch = self._store.gather(np.asarray(slots, dtype=np.intp)).records()
             self._lock.notify_all()
             return batch

@@ -12,6 +12,13 @@ duplicates discarded yield exactly the distribution of sequential draws from a
 shrinking population (the per-sample semantics of the FIRO/drain paths).  When
 the requested size is a large fraction of the population, rejection degrades,
 so it falls back to ``Generator.choice``.
+
+Both helpers return *positions* into a policy's live-slot list (not row slots
+themselves): the columnar buffers translate positions to row slots and hand
+the slot array to the column store for one fancy-indexed gather.  Returning
+plain Python ints is deliberate — the policies consume them with list
+swap-remove operations, where scalar ``ndarray`` items would pay a boxing
+penalty per access.
 """
 
 from __future__ import annotations

@@ -35,6 +35,14 @@ class OccurrenceTracker:
         for key in keys:
             self._counts[key] += 1
 
+    def record_columns(self, source_ids: np.ndarray, time_steps: np.ndarray) -> None:
+        """Record every ``(source_id, time_step)`` key of a columnar batch.
+
+        The vectorised twin of :meth:`record_batch`: one ``Counter.update``
+        over the zipped id/step vectors, no per-sample Python call.
+        """
+        self._counts.update(zip(source_ids.tolist(), time_steps.tolist()))
+
     @property
     def num_unique(self) -> int:
         """Number of distinct samples ever selected."""

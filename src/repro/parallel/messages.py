@@ -30,6 +30,18 @@ writes the batch directly into a caller-provided buffer — the shm ring
 transport packs straight into the acquired ring slot, the mp backend into a
 reusable scratch buffer.  :func:`pack_many` is the standalone-buffer
 convenience wrapper over the same writer.
+
+The columnar drain goes one step further than :func:`unpack_many`: since the
+wire layout already *is* columnar (one f64 params block, one f32 payload
+block, fixed-stride step headers), :func:`unpack_columns` turns a
+homogeneous packed batch into a single
+:class:`~repro.buffers.columns.ColumnBatch` — a structured ``np.frombuffer``
+parses every header at once and the payload block is copied exactly once
+into the targets matrix the batch owns — without materialising any
+per-message Python object.  :func:`columnize` provides the same chunk shape
+for transports that carry message objects by reference, and
+:func:`column_batch_to_messages` converts back on the rare non-columnar
+leftover path.
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.buffers.columns import ColumnBatch
 from repro.utils.exceptions import ReproError
 
 Array = np.ndarray
@@ -469,3 +482,203 @@ def unpack_many(buffer, copy_payloads: bool = False) -> List[Message]:
         else:
             raise WireFormatError(f"unknown message type code {kind} at offset {offset}")
     return messages
+
+
+# --------------------------------------------------------------------------
+# Columnar decode: packed batch -> ColumnBatch, no per-message objects.
+# --------------------------------------------------------------------------
+
+#: Vectorized view of a homogeneous run of step headers: one structured
+#: ``np.frombuffer`` parses every header of a batch at once (the columnar
+#: drain path).  Field offsets mirror ``_STEP_HEADER`` (``<BqqdqIQ``) byte
+#: for byte, and the itemsize is pinned to ``STEP_HEADER_BYTES`` so the
+#: wire-layout lint's calcsize cross-check on the struct keeps guarding the
+#: layout this dtype shadows.
+_STEP_HEADER_DTYPE = np.dtype(
+    {
+        "names": [
+            "type",
+            "client_id",
+            "time_step",
+            "time_value",
+            "sequence_number",
+            "n_params",
+            "payload_len",
+        ],
+        "formats": ["u1", "<i8", "<i8", "<f8", "<i8", "<u4", "<u8"],
+        "offsets": [0, 1, 9, 17, 25, 33, 37],
+        "itemsize": STEP_HEADER_BYTES,
+    }
+)
+
+
+def unpack_columns(buffer) -> Optional[ColumnBatch]:
+    """Deserialise a packed batch straight into one :class:`ColumnBatch`.
+
+    The columnar fast path of the drain: a batch that is a homogeneous run
+    of time-step messages with uniform parameter and payload lengths parses
+    with **no per-message loop** — one structured ``np.frombuffer`` reads
+    every header, the f64 params block reshapes into the inputs matrix (the
+    time value lands in the last column, completing the ``(X, t)`` training
+    input per row), and the f32 payload block is copied once into the
+    targets matrix the returned batch owns.  That copy is the adoption copy
+    of ``unpack_many(copy_payloads=True)``: the caller's buffer (a ring
+    slot about to be recycled) can be released the moment this returns.
+
+    Returns ``None`` for mixed or ragged batches — callers fall back to
+    :func:`unpack_many`.  Raises :class:`WireFormatError` for buffers that
+    do not parse as a packed batch at all, exactly like :func:`unpack_many`.
+    """
+    if len(buffer) < _BATCH_HEADER.size:
+        raise WireFormatError(f"buffer too short for batch header ({len(buffer)} bytes)")
+    magic, version, _flags, count, header_nbytes, total_params, total_payload = (
+        _BATCH_HEADER.unpack_from(buffer, 0)
+    )
+    if magic != WIRE_MAGIC:
+        raise WireFormatError(f"bad magic {magic!r}")
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {version}")
+    params_offset = _BATCH_HEADER.size + header_nbytes
+    payload_offset = params_offset + 8 * total_params
+    expected = payload_offset + 4 * total_payload
+    if len(buffer) < expected:
+        raise WireFormatError(
+            f"truncated batch: {len(buffer)} bytes, header promises {expected}"
+        )
+    if not count or header_nbytes != (count * _STEP_HEADER.size + 7) // 8 * 8:
+        return None
+    headers = np.frombuffer(buffer, dtype=_STEP_HEADER_DTYPE, count=count,
+                            offset=_BATCH_HEADER.size)
+    if count <= 128:
+        # Small-batch fast path: ``tolist`` + ``list.count`` run ~10x faster
+        # than three ``(field == x).all()`` reductions at the paper's batch
+        # size of 10, where numpy dispatch overhead dominates the check.
+        kinds = headers["type"].tolist()
+        if kinds.count(_T_STEP) != count:
+            return None  # mixed batch whose header region size merely collides
+        n_params_list = headers["n_params"].tolist()
+        width = n_params_list[0]
+        payload_len_list = headers["payload_len"].tolist()
+        field_len = payload_len_list[0]
+        if (n_params_list.count(width) != count
+                or payload_len_list.count(field_len) != count):
+            return None  # ragged run: per-message fallback handles it
+    else:
+        if not (headers["type"] == _T_STEP).all():
+            return None  # mixed batch whose header region size merely collides
+        n_params = headers["n_params"]
+        width = int(n_params[0])
+        payload_len = headers["payload_len"]
+        field_len = int(payload_len[0])
+        if not ((n_params == width).all() and (payload_len == field_len).all()):
+            return None  # ragged run: per-message fallback handles it
+    if total_params != count * width or total_payload != count * field_len:
+        return None
+    inputs = np.empty((count, width + 1), dtype=np.float64)
+    if width:
+        inputs[:, :width] = np.frombuffer(
+            buffer, dtype=np.float64, count=total_params, offset=params_offset
+        ).reshape(count, width)
+    inputs[:, width] = headers["time_value"]
+    targets = np.empty((count, field_len), dtype=np.float32)
+    if field_len:
+        # The one adoption copy: payload block -> owned targets matrix.
+        targets[:] = np.frombuffer(
+            buffer, dtype=np.float32, count=total_payload, offset=payload_offset
+        ).reshape(count, field_len)
+    return ColumnBatch(
+        inputs=inputs,
+        targets=targets,
+        source_ids=headers["client_id"].astype(np.int64),
+        time_steps=headers["time_step"].astype(np.int64),
+        sequence_numbers=headers["sequence_number"].astype(np.int64),
+    )
+
+
+def _columnize_run(run: List[TimeStepMessage]) -> list:
+    """One consecutive step run -> ``[ColumnBatch]``, or the run itself if ragged."""
+    first = run[0]
+    width = len(first.parameters)
+    field_len = first.payload.size
+    for message in run:
+        payload = message.payload
+        if (
+            len(message.parameters) != width
+            or payload.dtype != np.float32
+            or payload.ndim != 1
+            or payload.size != field_len
+        ):
+            return run
+    count = len(run)
+    inputs = np.empty((count, width + 1), dtype=np.float64)
+    if width:
+        inputs[:, :width] = [message.parameters for message in run]
+    inputs[:, width] = [message.time_value for message in run]
+    targets = np.empty((count, field_len), dtype=np.float32)
+    for index, message in enumerate(run):
+        targets[index] = message.payload
+    return [
+        ColumnBatch(
+            inputs=inputs,
+            targets=targets,
+            source_ids=np.fromiter((m.client_id for m in run), np.int64, count),
+            time_steps=np.fromiter((m.time_step for m in run), np.int64, count),
+            sequence_numbers=np.fromiter(
+                (m.sequence_number for m in run), np.int64, count
+            ),
+        )
+    ]
+
+
+def columnize(messages: Sequence[Message]) -> list:
+    """Group consecutive time-step runs into :class:`ColumnBatch` chunks.
+
+    The object-transport counterpart of :func:`unpack_columns`: backends
+    that carry message objects by reference (the in-process router) deliver
+    drained chunks in the same columnar shape as the wire transports, so the
+    aggregator has a single hot-path representation.  Control messages pass
+    through unchanged, in order; ragged runs (mixed parameter or payload
+    lengths, non-float32 payloads) stay as plain messages.
+    """
+    out: list = []
+    run: List[TimeStepMessage] = []
+    for message in messages:
+        if type(message) is TimeStepMessage:
+            run.append(message)
+            continue
+        if run:
+            out.extend(_columnize_run(run))
+            run = []
+        out.append(message)
+    if run:
+        out.extend(_columnize_run(run))
+    return out
+
+
+def column_batch_to_messages(batch: ColumnBatch) -> List[TimeStepMessage]:
+    """Explode a :class:`ColumnBatch` back into per-message objects.
+
+    Only used off the hot path — a columnar leftover re-queued for a caller
+    that polls plain messages.  Row views keep the batch's blocks alive; the
+    inputs matrix carries ``[X..., t]`` per row, so the parameter tuple is
+    everything but the last column.
+    """
+    ids = batch.source_ids.tolist()
+    steps = batch.time_steps.tolist()
+    if batch.sequence_numbers is not None:
+        seqs = batch.sequence_numbers.tolist()
+    else:
+        seqs = [0] * len(ids)
+    inputs = batch.inputs
+    targets = batch.targets
+    return [
+        TimeStepMessage(
+            ids[row],
+            steps[row],
+            float(inputs[row][-1]),
+            tuple(inputs[row][:-1].tolist()),
+            np.asarray(targets[row], dtype=np.float32),
+            seqs[row],
+        )
+        for row in range(len(ids))
+    ]

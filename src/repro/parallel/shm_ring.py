@@ -83,6 +83,7 @@ import time
 from multiprocessing import shared_memory
 from typing import Callable, Dict, List, Optional, Set
 
+from repro.buffers.columns import ColumnBatch
 from repro.parallel.messages import (
     BatchPlan,
     ClientFinished,
@@ -90,6 +91,7 @@ from repro.parallel.messages import (
     TimeStepMessage,
     WireFormatError,
     plan_many,
+    unpack_columns,
     unpack_many,
 )
 from repro.parallel.mp_transport import MultiprocessTransport
@@ -766,23 +768,35 @@ class ShmRingTransport(MultiprocessTransport):
     # ----------------------------------------------------------------- server
     def poll_many(self, rank: int, max_messages: int = 64,
         timeout: float | None = 0.05) -> List[Message]:
+        return self._poll_items(rank, max_messages, timeout, columnar=False)
+
+    def poll_batches(self, rank: int, max_messages: int = 64,
+        timeout: float | None = 0.05) -> list:
+        """Columnar drain: ring batches decode in place straight into
+        :class:`ColumnBatch` chunks — one structured header parse plus the
+        payload-block adoption copy per batch, no per-message objects — with
+        control messages interleaved in order, exactly like
+        :meth:`poll_many`.
+        """
+        return self._poll_items(rank, max_messages, timeout, columnar=True)
+
+    def _poll_items(self, rank: int, max_messages: int, timeout: float | None,
+                    columnar: bool) -> list:
         if max_messages <= 0:
             raise ValueError("max_messages must be positive")
         self._check_rank(rank)
-        messages: List[Message] = []
-        leftover = self._leftover[rank]
-        while leftover and len(messages) < max_messages:
-            messages.append(leftover.popleft())
-        self._drain(rank, messages, max_messages)
-        if messages or timeout is None:
-            return messages
+        items: list = []
+        count = self._take_leftover(rank, items, max_messages, columnar)
+        self._drain(rank, items, count, max_messages, columnar)
+        if items or timeout is None:
+            return items
         deadline = time.monotonic() + timeout
         wakeup = self._wakeups[rank]
         waiting = self._reader_waiting[rank]
         while True:
             now = time.monotonic()
             if now >= deadline:
-                return messages
+                return items
             if self._ready(rank):
                 # A control put may still be in flight through the queue's
                 # feeder pipe (qsize leads the readable bytes); yield briefly
@@ -799,7 +813,7 @@ class ShmRingTransport(MultiprocessTransport):
                 if parked:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        return messages
+                        return items
                     if not _MULTI_CORE:
                         # Timed nap (no semaphore, no writer-side posts): the
                         # writer keeps its timeslice and batches accumulate.
@@ -815,9 +829,9 @@ class ShmRingTransport(MultiprocessTransport):
                                 wakeup.acquire(True, min(remaining, 0.05))
                         finally:
                             waiting.value = 0
-            self._drain(rank, messages, max_messages)
-            if messages:
-                return messages
+            self._drain(rank, items, 0, max_messages, columnar)
+            if items:
+                return items
 
     def _ready(self, rank: int) -> bool:
         """Anything deliverable right now? (cheap, lock-free probes)"""
@@ -831,25 +845,31 @@ class ShmRingTransport(MultiprocessTransport):
                 self._qsize_broken = True
         return any(ring.depth for ring in self._rings[rank])
 
-    def _drain(self, rank: int, out: List[Message], max_messages: int) -> None:
-        """One non-blocking sweep: control queue, rings, deferred finished."""
-        self._drain_control(rank, out, max_messages)
-        self._drain_rings(rank, out, max_messages)
-        self._release_finished(rank, out, max_messages)
+    def _drain(self, rank: int, out: list, count: int, max_messages: int,
+               columnar: bool) -> int:
+        """One non-blocking sweep: control queue, rings, deferred finished.
 
-    def _drain_control(self, rank: int, out: List[Message], max_messages: int) -> None:
+        ``count`` is the running message tally of ``out`` (columnar chunks
+        count their sample length); the updated tally is returned.
+        """
+        count = self._drain_control(rank, out, count, max_messages, columnar)
+        count = self._drain_rings(rank, out, count, max_messages, columnar)
+        return self._release_finished(rank, out, count, max_messages)
+
+    def _drain_control(self, rank: int, out: list, count: int,
+                       max_messages: int, columnar: bool) -> int:
         if not self._qsize_broken:
             # Cheap emptiness probe: the common no-control-traffic sweep
             # costs one sem_getvalue instead of a queue.Empty exception.
             try:
                 if self._queues[rank].qsize() == 0:
-                    return
+                    return count
             except (NotImplementedError, OSError):  # pragma: no cover - macOS
                 self._qsize_broken = True
-        while len(out) < max_messages:
-            batch = self._get_batch(rank, None)
+        while count < max_messages:
+            batch = self._get_batch(rank, None, columnar)
             if batch is None:
-                return
+                return count
             for message in batch:
                 if isinstance(message, ClientFinished) and not self._client_drained(
                     rank, message.client_id
@@ -860,26 +880,33 @@ class ShmRingTransport(MultiprocessTransport):
                 else:
                     if isinstance(message, ClientFinished):
                         self._release_lease_ref(rank, message.client_id)
-                    self._absorb(rank, out, [message], max_messages)
+                    count = self._absorb(rank, out, [message], max_messages, count)
+        return count
 
-    def _drain_rings(self, rank: int, out: List[Message], max_messages: int) -> None:
+    def _drain_rings(self, rank: int, out: list, count: int,
+                     max_messages: int, columnar: bool) -> int:
         rings = self._rings[rank]
         progressed = True
-        while progressed and len(out) < max_messages:
+        while progressed and count < max_messages:
             progressed = False
             for ring in rings:
-                if len(out) >= max_messages:
-                    return
+                if count >= max_messages:
+                    return count
                 view = ring.try_read_view()  # None doubles as the empty probe
                 if view is None:
                     continue
                 progressed = True
-                batch: Optional[List[Message]] = None
+                batch: Optional[list] = None
                 try:
                     # In-place deserialisation of the borrowed slot; the one
-                    # payload-block copy transfers ownership to the messages,
-                    # so the slot can be recycled immediately after.
-                    batch = unpack_many(view, copy_payloads=True)
+                    # payload-block copy transfers ownership to the chunk (or
+                    # messages), so the slot can be recycled immediately.
+                    if columnar:
+                        chunk = unpack_columns(view)
+                        if chunk is not None:
+                            batch = [chunk]
+                    if batch is None:
+                        batch = unpack_many(view, copy_payloads=True)
                 except (WireFormatError, struct.error):
                     logger.warning("rank %d: discarding unparsable ring batch", rank, exc_info=True)
                     self._shared.record_dropped(1)
@@ -887,20 +914,23 @@ class ShmRingTransport(MultiprocessTransport):
                     view.release()
                     ring.finish_read()
                 if batch is not None:
-                    self._absorb(rank, out, batch, max_messages)
+                    count = self._absorb(rank, out, batch, max_messages, count)
+        return count
 
-    def _release_finished(self, rank: int, out: List[Message], max_messages: int) -> None:
+    def _release_finished(self, rank: int, out: list, count: int,
+                          max_messages: int) -> int:
         deferred = self._deferred_finished[rank]
         if not deferred:
-            return
+            return count
         still_waiting: List[ClientFinished] = []
         for message in deferred:
-            if len(out) < max_messages and self._client_drained(rank, message.client_id):
+            if count < max_messages and self._client_drained(rank, message.client_id):
                 self._release_lease_ref(rank, message.client_id)
-                self._absorb(rank, out, [message], max_messages)
+                count = self._absorb(rank, out, [message], max_messages, count)
             else:
                 still_waiting.append(message)
         self._deferred_finished[rank] = still_waiting
+        return count
 
     def _client_drained(self, rank: int, client_id: int) -> bool:
         slot = self._slot_of(client_id)
@@ -909,14 +939,19 @@ class ShmRingTransport(MultiprocessTransport):
         return self._rings[rank][slot].depth == 0
 
     def pending(self, rank: int) -> int:
-        """Leftovers plus queued control batches plus ring batches."""
+        """Leftovers plus queued control batches plus ring batches (leftover
+        columnar chunks count by their sample length)."""
         self._check_rank(rank)
         try:
             queued = self._queues[rank].qsize()
         except (NotImplementedError, OSError):  # pragma: no cover - macOS
             queued = 0
         depth = sum(ring.depth for ring in self._rings[rank])
-        return (len(self._leftover[rank]) + queued
+        leftover = sum(
+            len(item) if isinstance(item, ColumnBatch) else 1
+            for item in self._leftover[rank]
+        )
+        return (leftover + queued
                 + depth + len(self._deferred_finished[rank]))
 
     # --------------------------------------------------------------- lifecycle

@@ -28,7 +28,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.parallel.messages import Message
+from repro.parallel.messages import Message, columnize
 from repro.utils.exceptions import ReproError
 
 
@@ -81,7 +81,12 @@ class Transport:
     #: handed out by :meth:`poll_many` is owned by the message (retaining it
     #: does not pin a transport buffer that will be reused or that holds
     #: unrelated data), so consumers may adopt the views without copying.
-    #: Backends that hand out borrowed views must leave this False.
+    #: Backends that hand out borrowed views must leave this False.  Columnar
+    #: chunks are stricter still: a ``ColumnBatch`` returned by
+    #: :meth:`poll_batches` always owns its column arrays outright — wire
+    #: backends copy the payload block exactly once while decoding (the
+    #: adoption copy), and the flag only tells consumers whether *plain
+    #: message* payloads need a defensive copy.
     payloads_owned = False
 
     # ----------------------------------------------------------------- client
@@ -132,6 +137,22 @@ class Transport:
         timeout.
         """
         raise NotImplementedError
+
+    def poll_batches(self, rank: int, max_messages: int = 64,
+        timeout: float | None = 0.05) -> list:
+        """Drain like :meth:`poll_many`, delivering step runs as columnar chunks.
+
+        Returns a mixed list of control :class:`Message` objects and
+        :class:`repro.buffers.columns.ColumnBatch` chunks in arrival order;
+        a chunk of ``n`` samples counts ``n`` messages toward
+        ``max_messages``.  Every returned chunk owns its columns (see
+        :attr:`payloads_owned`).  The default implementation groups the
+        object-polled messages with
+        :func:`repro.parallel.messages.columnize`; wire backends override
+        the decode to build the chunks straight from the packed batch,
+        without materialising per-message objects at all.
+        """
+        return columnize(self.poll_many(rank, max_messages=max_messages, timeout=timeout))
 
     def pending(self, rank: int) -> int:
         """Number of messages currently queued for server rank ``rank``."""

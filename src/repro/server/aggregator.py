@@ -15,6 +15,7 @@ from typing import List, Optional, Set
 import numpy as np
 
 from repro.buffers.base import SampleRecord, TrainingBuffer
+from repro.buffers.columns import ColumnBatch
 from repro.parallel.messages import ClientFinished, ClientHello, Heartbeat, Message, TimeStepMessage
 from repro.parallel.transport import Transport
 from repro.server.fault import HeartbeatMonitor, MessageLog
@@ -132,20 +133,59 @@ class DataAggregator:
     # ------------------------------------------------------------------ logic
     def _run(self) -> None:
         while not self._stop.is_set():
-            messages = self.router.poll_many(
+            items = self.router.poll_batches(
                 self.rank, max_messages=self.max_drain, timeout=self.poll_timeout
             )
-            if not messages:
+            if not items:
                 if self.reception_complete:
                     break
                 continue
             try:
-                self._handle_many(messages)
+                self._handle_items(items)
             except BufferClosedError:
                 break
         # Whatever the exit reason, make sure the training thread is unblocked.
         if self.reception_complete:
             self.buffer.signal_reception_over()
+
+    def _handle_items(self, items: List[object]) -> None:
+        """Process one columnar drain: samples arrive as :class:`ColumnBatch`
+        chunks (the common case) and/or plain messages, in arrival order.
+
+        At most one kind of sample run is pending at a time — a kind switch
+        flushes the other kind first, so arrival order is preserved in the
+        buffer.  Consecutive chunks with matching column shapes are merged
+        into one :meth:`_ingest_columns` call (one dedup pass, one
+        ``put_many``); pending samples of either kind are flushed before a
+        ``ClientFinished`` for the same reason as in :meth:`_handle_many`.
+        """
+        steps: List[TimeStepMessage] = []
+        chunks: List[ColumnBatch] = []
+
+        def flush_pending() -> None:
+            nonlocal steps, chunks
+            if steps:
+                self._flush(*self._records_from_steps(steps))
+                steps = []
+            if chunks:
+                merged = chunks[0] if len(chunks) == 1 else ColumnBatch.concat(chunks)
+                chunks = []
+                self._ingest_columns(merged)
+
+        for item in items:
+            if isinstance(item, ColumnBatch):
+                if steps or (chunks and not chunks[-1].compatible_with(item)):
+                    flush_pending()
+                chunks.append(item)
+            elif isinstance(item, TimeStepMessage):
+                if chunks:
+                    flush_pending()
+                steps.append(item)
+            else:
+                if isinstance(item, ClientFinished):
+                    flush_pending()
+                self._handle_control(item)
+        flush_pending()
 
     def _handle_many(self, messages: List[Message]) -> None:
         """Process one drained chunk: bulk-insert samples, dispatch control.
@@ -232,6 +272,61 @@ class DataAggregator:
             )
             sizes.append(message.nbytes())
         return records, sizes
+
+    def _ingest_columns(self, batch: ColumnBatch) -> None:
+        """Dedup, liveness-track and buffer one columnar chunk, vectorised.
+
+        The per-message bookkeeping loop of :meth:`_records_from_steps`
+        becomes column arithmetic: client discovery is one ``np.unique`` over
+        the id vector, liveness is one ``touch`` per distinct client with the
+        maximum observed step, and deduplication is one
+        :meth:`MessageLog.register_many` call whose keep-mask (if any)
+        compresses the batch before it enters the buffer.
+        """
+        if not len(batch):
+            return
+        ids = batch.source_ids
+        steps = batch.time_steps
+        unique = np.unique(ids)
+        self.stats.clients_seen.update(unique.tolist())
+        if self.heartbeat_monitor is not None:
+            if len(unique) == 1:
+                self.heartbeat_monitor.touch(int(unique[0]), progress=float(steps.max()))
+            else:
+                for cid in unique.tolist():
+                    self.heartbeat_monitor.touch(
+                        cid, progress=float(steps[ids == cid].max())
+                    )
+        keep = self.message_log.register_many(ids, steps)
+        if keep is not None:
+            kept = int(keep.sum())
+            self.stats.duplicates_discarded += len(batch) - kept
+            if not kept:
+                return
+            batch = batch.compress(keep)
+        # Wire-equivalent size of one row, mirroring TimeStepMessage.nbytes():
+        # f32 payload + f64 parameters (inputs minus the time column) + header.
+        row_nbytes = 4 * batch.targets.shape[1] + 8 * (batch.inputs.shape[1] - 1) + 32
+        self._flush_columns(batch, row_nbytes)
+
+    def _flush_columns(self, batch: ColumnBatch, row_nbytes: int) -> None:
+        """Columnar twin of :meth:`_flush`: bounded waits, drop on stop."""
+        offset = 0
+        total = len(batch)
+        while offset < total:
+            if self._stop.is_set():
+                self.stats.samples_dropped += total - offset
+                return
+            try:
+                inserted = self.buffer.put_many(
+                    batch[offset:], timeout=self.put_retry_timeout
+                )
+            except BufferClosedError:
+                self.stats.samples_dropped += total - offset
+                raise
+            self.stats.samples_received += inserted
+            self.stats.bytes_received += row_nbytes * inserted
+            offset += inserted
 
     def _flush(self, records: List[SampleRecord], sizes: List[int]) -> None:
         """Insert ``records`` into the buffer, staying responsive to stop().

@@ -12,7 +12,9 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
 
 
 class MessageLog:
@@ -32,6 +34,37 @@ class MessageLog:
                 return False
             steps.add(int(time_step))
             return True
+
+    def register_many(self, client_ids: np.ndarray,
+                      time_steps: np.ndarray) -> Optional[np.ndarray]:
+        """Record a columnar batch of ``(client_id, time_step)`` keys at once.
+
+        Returns ``None`` when every key is new (the caller keeps the whole
+        batch, no mask allocation), else a boolean keep-mask aligned with the
+        input vectors.  Duplicate accounting matches per-key
+        :meth:`register` exactly: each rejected key counts once.
+        """
+        ids = client_ids.tolist()
+        steps = time_steps.tolist()
+        with self._lock:
+            if ids and len(set(ids)) == 1:
+                # Single-client chunk (the overwhelmingly common shape of a
+                # transport batch): one set-disjointness probe decides the
+                # whole batch instead of a per-key membership loop.
+                known = self._received.setdefault(int(ids[0]), set())
+                if len(set(steps)) == len(steps) and known.isdisjoint(steps):
+                    known.update(steps)
+                    return None
+            keep = np.empty(len(ids), dtype=bool)
+            for index, (cid, step) in enumerate(zip(ids, steps)):
+                known = self._received.setdefault(int(cid), set())
+                if step in known:
+                    self._duplicates += 1
+                    keep[index] = False
+                else:
+                    known.add(int(step))
+                    keep[index] = True
+            return keep
 
     def received_steps(self, client_id: int) -> Set[int]:
         """Time steps already received from ``client_id`` (copy)."""

@@ -16,7 +16,8 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from repro.buffers.base import SampleRecord, TrainingBuffer, contiguous_rows
+from repro.buffers.base import TrainingBuffer, contiguous_rows
+from repro.buffers.columns import ColumnBatch
 from repro.buffers.stats import OccurrenceTracker
 from repro.core.metrics import TrainingMetrics
 from repro.nn.losses import Loss, MSELoss
@@ -93,8 +94,14 @@ class TrainingWorker:
         self._batch_targets: Optional[Array] = None
 
     # ------------------------------------------------------------------ batch
-    def _stack_batch(self, batch: List[SampleRecord]) -> tuple[Array, Array]:
+    def _stack_batch(self, batch) -> tuple[Array, Array]:
         """Stack a batch for the forward pass, without copying when possible.
+
+        A dense :class:`ColumnBatch` drawn from the buffer **is** the stacked
+        batch: its inputs matrix and targets block go to the nn forward pass
+        as-is, with no per-record objects and no copy at all.  (An
+        object-mode batch — ragged sample shapes — degrades to its record
+        views and takes the paths below.)
 
         Records produced by the batched ingestion path hold row views into
         shared per-chunk blocks; a batch drawn in arrival order (FIFO, or
@@ -105,9 +112,13 @@ class TrainingWorker:
         safe because forward/backward of one batch complete before the next
         batch is stacked (the same lifetime the zero-copy views rely on).
         """
+        if isinstance(batch, ColumnBatch):
+            if batch.is_dense:
+                return batch.inputs, batch.targets
+            batch = batch.records()
         count = len(batch)
         first = batch[0]
-        if first.inputs.dtype == np.float32 and first.target.dtype == np.float32:
+        if first.inputs.dtype in (np.float32, np.float64) and first.target.dtype == np.float32:
             inputs = contiguous_rows([record.inputs for record in batch])
             if inputs is not None:
                 targets = contiguous_rows([record.target for record in batch])
@@ -131,7 +142,7 @@ class TrainingWorker:
             targets[row] = record.target
         return inputs, targets
 
-    def _train_batch(self, batch: List[SampleRecord], sync: bool = True) -> float:
+    def _train_batch(self, batch, sync: bool = True) -> float:
         inputs, targets = self._stack_batch(batch)
         self.model.zero_grad()
         predictions = self.model.forward(inputs)
@@ -168,7 +179,9 @@ class TrainingWorker:
                 # Still participate in one last collective so peers don't hang.
                 self._collective_continue(False)
                 break
-            batch = self.buffer.get_batch(self.config.batch_size, timeout=self.config.get_timeout)
+            batch = self.buffer.get_batch_columns(
+                self.config.batch_size, timeout=self.config.get_timeout
+            )
             # Open the throughput window once data is available but before the
             # first batch is trained: the first measurement then covers
             # `window` full batch intervals, excluding the initial buffer
@@ -194,7 +207,7 @@ class TrainingWorker:
             self.metrics.throughput.record_batch(len(batch))
 
             if self.config.track_occurrences:
-                self.occurrences.record_batch(record.key() for record in batch)
+                self.occurrences.record_columns(batch.source_ids, batch.time_steps)
             if self.config.record_population:
                 snapshot = self.buffer.snapshot()
                 self.metrics.buffer_population.record(

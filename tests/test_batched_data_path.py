@@ -16,6 +16,7 @@ import pytest
 
 from repro.buffers import FIFOBuffer, FIROBuffer, ReservoirBuffer, make_buffer
 from repro.buffers.base import SampleRecord
+from repro.buffers.columns import ColumnBatch
 
 
 def record(index: int) -> SampleRecord:
@@ -225,6 +226,87 @@ def test_put_many_matches_per_sample_counters(kind):
         one_by_one.put(item)
     assert bulk.put_many(records(150)) == 150
     assert one_by_one.snapshot() == bulk.snapshot()
+
+
+# ----------------------------------------------------------- columnar parity
+def assert_batches_byte_identical(a: ColumnBatch, b: ColumnBatch) -> None:
+    assert a.inputs.tobytes() == b.inputs.tobytes()
+    assert a.targets.tobytes() == b.targets.tobytes()
+    assert a.source_ids.tobytes() == b.source_ids.tobytes()
+    assert a.time_steps.tobytes() == b.time_steps.tobytes()
+
+
+@pytest.mark.parametrize("kind", ["fifo", "firo", "reservoir"])
+def test_columnar_ingest_yields_byte_identical_batches(kind):
+    """Feeding ColumnBatch chunks and feeding their record views must be
+    indistinguishable: same RNG consumption, same slots, byte-identical
+    batches during reception and through the drain."""
+    by_columns = make_buffer(kind, capacity=64, threshold=0, seed=7)
+    by_records = make_buffer(kind, capacity=64, threshold=0, seed=7)
+    items = records(48)
+    for start in range(0, 48, 12):
+        chunk = ColumnBatch.from_records(items[start : start + 12])
+        assert by_columns.put_many(chunk) == 12
+        assert by_records.put_many(items[start : start + 12]) == 12
+    for _ in range(4):  # reception-mode draws consume identical RNG streams
+        a = by_columns.get_batch_columns(10, timeout=1.0)
+        b = by_records.get_batch_columns(10, timeout=1.0)
+        assert_batches_byte_identical(a, b)
+    assert by_columns.snapshot() == by_records.snapshot()
+    by_columns.signal_reception_over()
+    by_records.signal_reception_over()
+    while True:
+        a = by_columns.get_batch_columns(10, timeout=1.0)
+        b = by_records.get_batch_columns(10, timeout=1.0)
+        assert_batches_byte_identical(a, b)
+        if not len(a):
+            break
+    assert by_columns.snapshot() == by_records.snapshot()
+
+
+def test_fifo_wraparound_preserves_columnar_arrival_order():
+    """Ring-index wraparound: chunks inserted across the capacity boundary
+    come back out in exact arrival order on both insert paths."""
+    by_columns = FIFOBuffer(capacity=10)
+    by_records = FIFOBuffer(capacity=10)
+    items = records(30)
+    cursor = 0
+    drawn_cols, drawn_recs = [], []
+    for put_count, get_count in [(10, 7), (7, 6), (6, 8), (7, 9)]:
+        chunk = ColumnBatch.from_records(items[cursor : cursor + put_count])
+        assert by_columns.put_many(chunk) == put_count
+        assert by_records.put_many(items[cursor : cursor + put_count]) == put_count
+        cursor += put_count
+        a = by_columns.get_batch_columns(get_count, timeout=1.0)
+        b = by_records.get_batch_columns(get_count, timeout=1.0)
+        assert_batches_byte_identical(a, b)
+        drawn_cols.extend(a.keys())
+        drawn_recs.extend(b.keys())
+    assert drawn_cols == drawn_recs == [r.key() for r in items[: len(drawn_cols)]]
+
+
+def test_reservoir_columnar_eviction_matches_per_record():
+    """Algorithm 1's evict-only-seen rule is pure index arithmetic now; the
+    chunk insert must pick the same victims as the record insert."""
+    by_columns = ReservoirBuffer(capacity=20, threshold=0, seed=9)
+    by_records = ReservoirBuffer(capacity=20, threshold=0, seed=9)
+    for buffer in (by_columns, by_records):
+        fill(buffer, 20)
+        while buffer.num_seen < 10:
+            buffer.get(timeout=1.0)
+    fresh = [record(100 + i) for i in range(8)]
+    assert by_columns.put_many(ColumnBatch.from_records(fresh)) == 8
+    assert by_records.put_many(fresh) == 8
+    assert by_columns.evicted_seen == by_records.evicted_seen == 8
+    assert by_columns.snapshot() == by_records.snapshot()
+    for buffer in (by_columns, by_records):
+        buffer.signal_reception_over()
+    a = by_columns.get_batch_columns(20, timeout=1.0)
+    b = by_records.get_batch_columns(20, timeout=1.0)
+    assert_batches_byte_identical(a, b)
+    survivors = set(a.keys())
+    for item in fresh:  # unseen samples are never evicted
+        assert item.key() in survivors
 
 
 # -------------------------------------------------------------- distribution

@@ -1,0 +1,197 @@
+"""Columnar ingestion: adoption semantics and the record compatibility view.
+
+The SoA data plane replaces per-message objects with :class:`ColumnBatch`
+chunks from the wire to the forward pass.  These tests pin its two
+contracts: an adopted chunk is copied **exactly once** into the column store
+(``Transport.payloads_owned`` semantics carried over), and
+:class:`SampleRecord` remains available everywhere as a thin view over the
+columns — same fields, same ``key()``, zero extra copies for dense data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.buffers import FIFOBuffer, make_buffer
+from repro.buffers.columns import ColumnBatch, ColumnStore, SampleRecord
+from repro.parallel.messages import (
+    ClientFinished,
+    ClientHello,
+    TimeStepMessage,
+    column_batch_to_messages,
+    columnize,
+    pack_many,
+    unpack_columns,
+    unpack_many,
+)
+
+FIELD_LEN = 6
+
+
+def make_steps(count, client_id=0, start=0, field_len=FIELD_LEN):
+    return [
+        TimeStepMessage(
+            client_id=client_id,
+            time_step=start + index,
+            time_value=(start + index) * 0.5,
+            parameters=(1.5, -2.0),
+            payload=np.arange(field_len, dtype=np.float32) * (start + index + 1),
+            sequence_number=100 + start + index,
+        )
+        for index in range(count)
+    ]
+
+
+# ------------------------------------------------------------ wire decoding
+def test_unpack_columns_matches_unpack_many_fieldwise():
+    wire = pack_many(make_steps(9, client_id=3))
+    chunk = unpack_columns(wire)
+    messages = unpack_many(wire)
+    assert chunk is not None and len(chunk) == len(messages)
+    for row, message in enumerate(messages):
+        assert chunk.source_ids[row] == message.client_id
+        assert chunk.time_steps[row] == message.time_step
+        assert chunk.sequence_numbers[row] == message.sequence_number
+        np.testing.assert_array_equal(chunk.targets[row], message.payload)
+        np.testing.assert_array_equal(
+            chunk.inputs[row], [*message.parameters, message.time_value]
+        )
+
+
+def test_unpack_columns_owns_its_memory():
+    wire = pack_many(make_steps(4))
+    chunk = unpack_columns(wire)
+    wire_bytes = np.frombuffer(wire, dtype=np.uint8)
+    for column in (chunk.inputs, chunk.targets, chunk.source_ids, chunk.time_steps):
+        assert not np.shares_memory(column, wire_bytes)
+    assert chunk.inputs.dtype == np.float64
+    assert chunk.targets.dtype == np.float32
+
+
+def test_unpack_columns_declines_control_and_ragged_batches():
+    steps = make_steps(3)
+    assert unpack_columns(pack_many([ClientHello(client_id=0)])) is None
+    assert unpack_columns(pack_many([*steps, ClientFinished(client_id=0)])) is None
+    ragged = steps + make_steps(1, start=3, field_len=FIELD_LEN + 2)
+    assert unpack_columns(pack_many(ragged)) is None
+
+
+def test_columnize_and_back_round_trips_message_runs():
+    steps = make_steps(5, client_id=2)
+    mixed = [ClientHello(client_id=2), *steps, ClientFinished(client_id=2)]
+    items = columnize(mixed)
+    assert isinstance(items[0], ClientHello)
+    assert isinstance(items[1], ColumnBatch) and len(items[1]) == 5
+    assert isinstance(items[2], ClientFinished)
+    assert column_batch_to_messages(items[1]) == steps
+
+
+# ---------------------------------------------------------------- ColumnBatch
+def test_column_batch_slices_are_views_not_copies():
+    chunk = unpack_columns(pack_many(make_steps(8)))
+    part = chunk[2:6]
+    assert len(part) == 4
+    assert np.shares_memory(part.inputs, chunk.inputs)
+    assert np.shares_memory(part.targets, chunk.targets)
+    np.testing.assert_array_equal(part.time_steps, [2, 3, 4, 5])
+
+
+def test_column_batch_compress_and_concat():
+    chunk = unpack_columns(pack_many(make_steps(6)))
+    keep = np.array([True, False, True, True, False, True])
+    kept = chunk.compress(keep)
+    np.testing.assert_array_equal(kept.time_steps, [0, 2, 3, 5])
+    rejoined = ColumnBatch.concat([kept[:2], kept[2:]])
+    np.testing.assert_array_equal(rejoined.time_steps, kept.time_steps)
+    np.testing.assert_array_equal(rejoined.targets, kept.targets)
+    assert chunk.compatible_with(kept)
+
+
+def test_column_batch_records_view_is_zero_copy_and_key_compatible():
+    chunk = unpack_columns(pack_many(make_steps(5, client_id=7)))
+    records = chunk.records()
+    assert [record.key() for record in records] == chunk.keys()
+    for row, record in enumerate(records):
+        assert isinstance(record, SampleRecord)
+        assert record.inputs.base is chunk.inputs
+        assert record.target.base is chunk.targets
+        assert record.source_id == 7 and record.time_step == row
+
+
+def test_from_records_round_trip():
+    original = unpack_columns(pack_many(make_steps(4)))
+    rebuilt = ColumnBatch.from_records(original.records())
+    np.testing.assert_array_equal(rebuilt.inputs, original.inputs)
+    np.testing.assert_array_equal(rebuilt.targets, original.targets)
+    np.testing.assert_array_equal(rebuilt.source_ids, original.source_ids)
+
+
+# ----------------------------------------------------------------- ColumnStore
+def test_store_insert_copies_the_chunk_exactly_once():
+    """put_many(ColumnBatch) adopts by one vectorized copy into the columns;
+    mutating the source afterwards must not reach the stored rows."""
+    buffer = FIFOBuffer(capacity=16)
+    chunk = unpack_columns(pack_many(make_steps(6)))
+    assert buffer.put_many(chunk) == 6
+    store = buffer._store
+    assert not np.shares_memory(store.targets, chunk.targets)
+    assert not np.shares_memory(store.inputs, chunk.inputs)
+    chunk.targets[:] = -1.0  # the store must hold its own copy
+    batch = buffer.get_batch_columns(6, timeout=1.0)
+    np.testing.assert_array_equal(
+        batch.targets[2], np.arange(FIELD_LEN, dtype=np.float32) * 3
+    )
+
+
+def test_gathered_batches_survive_slot_recycling():
+    """A drawn batch owns its rows: refilling the freed slots cannot corrupt
+    batches already handed to the trainer."""
+    buffer = FIFOBuffer(capacity=4)
+    buffer.put_many(unpack_columns(pack_many(make_steps(4))))
+    first = buffer.get_batch_columns(4, timeout=1.0)
+    snapshot = first.targets.copy()
+    buffer.put_many(unpack_columns(pack_many(make_steps(4, start=50))))
+    buffer.get_batch_columns(4, timeout=1.0)
+    np.testing.assert_array_equal(first.targets, snapshot)
+
+
+@pytest.mark.parametrize("kind", ["fifo", "firo", "reservoir"])
+def test_column_insert_equals_record_insert(kind):
+    """Inserting a chunk and inserting its record view are indistinguishable."""
+    chunk = unpack_columns(pack_many(make_steps(12)))
+    by_columns = make_buffer(kind, capacity=32, threshold=0, seed=11)
+    by_records = make_buffer(kind, capacity=32, threshold=0, seed=11)
+    assert by_columns.put_many(chunk) == 12
+    assert by_records.put_many(chunk.records()) == 12
+    assert by_columns.snapshot() == by_records.snapshot()
+    for buffer in (by_columns, by_records):
+        buffer.signal_reception_over()
+    a = by_columns.get_batch_columns(12, timeout=1.0)
+    b = by_records.get_batch_columns(12, timeout=1.0)
+    np.testing.assert_array_equal(a.inputs, b.inputs)
+    np.testing.assert_array_equal(a.targets, b.targets)
+    np.testing.assert_array_equal(a.source_ids, b.source_ids)
+    np.testing.assert_array_equal(a.time_steps, b.time_steps)
+
+
+def test_store_migrates_to_object_rows_for_ragged_samples():
+    store = ColumnStore(4)
+    store.write_record(0, SampleRecord(np.ones(3), np.ones(2, np.float32), 0, 0))
+    assert not store.object_rows
+    # A row of a different width forces the object-rows migration; the dense
+    # row written before must survive it.
+    store.write_record(1, SampleRecord(np.ones(5), np.ones(2, np.float32), 0, 1))
+    assert store.object_rows
+    np.testing.assert_array_equal(store.record_at(0).inputs, np.ones(3))
+    np.testing.assert_array_equal(store.record_at(1).inputs, np.ones(5))
+    batch = store.gather(np.array([0, 1]))
+    assert not batch.is_dense
+    assert [row.shape for row in batch.inputs] == [(3,), (5,)]
+
+
+def test_record_at_copies_dense_rows_out():
+    store = ColumnStore(2)
+    store.write_record(0, SampleRecord(np.ones(3), np.ones(2, np.float32), 5, 9))
+    record = store.record_at(0)
+    assert record.key() == (5, 9)
+    store.inputs[0] = -1.0
+    np.testing.assert_array_equal(record.inputs, np.ones(3))

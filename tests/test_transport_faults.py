@@ -316,6 +316,51 @@ def test_buffered_records_do_not_pin_the_packed_batch(transport):
     assert all(record.target.base is block for record in records)
 
 
+# ------------------------------------------------- columnar counter parity
+def test_columnar_drain_keeps_dedup_and_drop_counters_identical(transport):
+    """The vectorised dedup/liveness bookkeeping of the columnar path must
+    count exactly like the per-message loop: same duplicates_discarded, same
+    samples_received, same MessageLog totals, for the same resent stream."""
+    from repro.parallel.messages import pack_many, unpack_columns, unpack_many
+
+    steps = [
+        TimeStepMessage(client_id=0, time_step=step, time_value=step * 0.1,
+                        parameters=(1.0, 2.0), payload=FIELD)
+        for step in range(20)
+    ]
+    resent = steps[:12]  # a restarted client resends a prefix
+    per_record, _ = make_aggregator(transport)
+    columnar, _ = make_aggregator(transport)
+
+    per_record._handle_many(list(unpack_many(pack_many(steps), copy_payloads=True)))
+    per_record._handle_many(list(unpack_many(pack_many(resent), copy_payloads=True)))
+    columnar._handle_items([unpack_columns(pack_many(steps))])
+    columnar._handle_items([unpack_columns(pack_many(resent))])
+
+    assert columnar.stats.samples_received == per_record.stats.samples_received == 20
+    assert columnar.stats.duplicates_discarded == per_record.stats.duplicates_discarded == 12
+    assert columnar.stats.clients_seen == per_record.stats.clients_seen
+    assert (columnar.message_log.duplicates_discarded
+            == per_record.message_log.duplicates_discarded == 12)
+    assert columnar.message_log.state() == per_record.message_log.state()
+
+
+def test_columnar_drain_counts_partial_duplicates_per_key(transport):
+    """A chunk mixing new and duplicate keys splits exactly like the loop
+    (one duplicate counted per rejected key, the rest inserted)."""
+    from repro.parallel.messages import pack_many, unpack_columns
+
+    aggregator, buffer = make_aggregator(transport)
+    first = [TimeStepMessage(client_id=1, time_step=s, payload=FIELD) for s in range(6)]
+    overlap = [TimeStepMessage(client_id=1, time_step=s, payload=FIELD) for s in range(3, 9)]
+    aggregator._handle_items([unpack_columns(pack_many(first))])
+    aggregator._handle_items([unpack_columns(pack_many(overlap))])
+    assert aggregator.stats.samples_received == 9
+    assert aggregator.stats.duplicates_discarded == 3
+    assert aggregator.message_log.duplicates_discarded == 3
+    assert buffer.total_put == 9
+
+
 # ------------------------------------------------------------ batched sends
 def test_mp_round_trip_preserves_order_and_batches(transport):
     """A batched client conversation crosses the process boundary intact."""
