@@ -113,3 +113,52 @@ def test_mp_transport_batched_push_throughput():
                         batch_size=BATCH_SIZE,
                         unbatched_msgs_per_s=round(unbatched),
                         batched_msgs_per_s=round(batched))
+
+
+def test_tcp_loopback_throughput():
+    """End-to-end messages/s through the tcp front door on loopback.
+
+    Informational for the serving-tier budget: asserts only delivery and
+    accounting (loopback wall-clock on shared runners is too noisy for a
+    hard floor).  Also reports the zlib wire-size ratio, which *is* stable:
+    the arange payload compresses, so the compressed run must move fewer
+    bytes for the same messages.
+    """
+    from repro.parallel.tcp_transport import TcpTransport
+
+    messages = [message for batch in BATCHES[:50] for message in batch]
+
+    def pump(compression) -> tuple:
+        transport = TcpTransport(num_server_ranks=1, max_queue_size=100_000,
+                                 compression=compression)
+        try:
+            connection = transport.connect(client_id=0, batch_size=BATCH_SIZE)
+            began = time.perf_counter()
+            for message in messages:
+                connection.send_round_robin(message)
+            connection.flush()
+            drained = 0
+            while drained < len(messages):
+                chunk = transport.poll_many(0, max_messages=256, timeout=1.0)
+                assert chunk, "tcp transport stalled while draining"
+                drained += len(chunk)
+            elapsed = time.perf_counter() - began
+            assert transport.stats.messages_routed == len(messages)
+            assert transport.stats.dropped_messages == 0
+            return len(messages) / elapsed, transport.stats.bytes_routed
+        finally:
+            transport.shutdown()
+
+    plain_rate, plain_bytes = pump(compression=None)
+    zlib_rate, zlib_bytes = pump(compression="zlib")
+    print(
+        f"\n[tcp] loopback {plain_rate:,.0f} msg/s ({plain_bytes:,} B), "
+        f"zlib {zlib_rate:,.0f} msg/s ({zlib_bytes:,} B, "
+        f"{plain_bytes / zlib_bytes:.2f}x smaller)"
+    )
+    record_bench_result("tcp.loopback_push", plain_rate / zlib_rate, unit="x",
+                        plain_msgs_per_s=round(plain_rate),
+                        zlib_msgs_per_s=round(zlib_rate),
+                        plain_bytes=plain_bytes,
+                        zlib_bytes=zlib_bytes)
+    assert zlib_bytes < plain_bytes, "zlib run moved no fewer bytes on the wire"

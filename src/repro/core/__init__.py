@@ -1,29 +1,41 @@
-"""High-level API: configure and run online / offline surrogate-training studies."""
+"""High-level API: configure and run online / offline surrogate-training studies.
 
-from repro.core.config import OfflineStudyConfig, OnlineStudyConfig
-from repro.core.heat_usecase import HeatSurrogateCase, HeatSurrogateSpec
-from repro.core.metrics import (
-    BufferPopulationSeries,
-    LossHistory,
-    ThroughputMeter,
-    TrainingMetrics,
-    merge_worker_metrics,
-)
-from repro.core.results import OfflineStudyResult, OnlineStudyResult
-from repro.core.study import OfflineStudy, OnlineStudy
+Exports resolve lazily (PEP 562): the study driver imports the training
+server, whose modules import back into this package for metrics and
+configs — eager re-exports here would turn that into an import cycle as
+soon as a server module is the entry point (e.g. the tcp transport
+importing ``repro.server.serving``).
+"""
 
-__all__ = [
-    "OnlineStudyConfig",
-    "OfflineStudyConfig",
-    "OnlineStudy",
-    "OfflineStudy",
-    "OnlineStudyResult",
-    "OfflineStudyResult",
-    "HeatSurrogateCase",
-    "HeatSurrogateSpec",
-    "ThroughputMeter",
-    "LossHistory",
-    "BufferPopulationSeries",
-    "TrainingMetrics",
-    "merge_worker_metrics",
-]
+from importlib import import_module
+
+_EXPORTS = {
+    "OnlineStudyConfig": "repro.core.config",
+    "OfflineStudyConfig": "repro.core.config",
+    "OnlineStudy": "repro.core.study",
+    "OfflineStudy": "repro.core.study",
+    "OnlineStudyResult": "repro.core.results",
+    "OfflineStudyResult": "repro.core.results",
+    "HeatSurrogateCase": "repro.core.heat_usecase",
+    "HeatSurrogateSpec": "repro.core.heat_usecase",
+    "ThroughputMeter": "repro.core.metrics",
+    "LossHistory": "repro.core.metrics",
+    "BufferPopulationSeries": "repro.core.metrics",
+    "TrainingMetrics": "repro.core.metrics",
+    "merge_worker_metrics": "repro.core.metrics",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module = _EXPORTS.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache: resolve each export once
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, Union
 
+from repro.parallel.transport import TransportConfig
 from repro.server.trainer import TrainerConfig
 from repro.utils.exceptions import ConfigurationError
 
@@ -41,36 +43,29 @@ class OnlineStudyConfig:
     lr_gamma: float = 0.5
     lr_min: float = 2.5e-4
 
-    # Transport.  ``"inproc"`` hands messages between threads by reference;
-    # ``"mp"`` runs each client as a forked OS process streaming packed
-    # message batches over multiprocessing queues; ``"shm"`` also forks one
-    # process per client but streams the packed batches through lock-free
-    # shared-memory SPSC ring buffers (one per client and server rank),
-    # keeping only rare control messages on the queues.
-    # ``transport_batch_size`` is the client-side batching width (messages
-    # per packed buffer).
-    transport: str = "inproc"
-    transport_batch_size: int = 1
-    transport_queue_size: int = 100_000
-    #: Ring geometry of the ``"shm"`` backend: each (client, rank) ring holds
-    #: ``ring_slots`` packed batches of at most ``ring_slot_bytes`` bytes.
-    #: Oversized batches are split automatically; a single message that
-    #: cannot fit raises, naming this knob.
-    ring_slots: int = 16
-    ring_slot_bytes: int = 65_536
-    #: With ``transport="mp"``, kill a client process that has not finished
-    #: after this many seconds and restart it.  This caps a client's *total
-    #: runtime*, not its liveness, so it is opt-in (``None`` waits forever);
-    #: set it only when an upper bound on one simulation's duration is known.
+    #: Transport: a backend name (``"inproc"``, ``"mp"``, ``"shm"``,
+    #: ``"tcp"``) or a full :class:`repro.parallel.transport.TransportConfig`
+    #: carrying the backend-specific options (shm ring geometry, tcp
+    #: address/compression).  After construction this is always the backend
+    #: *name*; the normalised object lives in :attr:`transport_config`.
+    transport: Union[str, TransportConfig] = "inproc"
+    #: Deprecated flat transport knobs, kept as aliases of the corresponding
+    #: ``TransportConfig`` fields (``batch_size``, ``queue_size``,
+    #: ``shm.ring_slots``, ``shm.ring_slot_bytes``, ``process_timeout``,
+    #: ``heartbeat_timeout``).  ``None`` means "inherit from
+    #: :attr:`transport`"; an explicit value overrides it and emits a
+    #: ``DeprecationWarning``.  After construction each holds its resolved
+    #: value, so existing readers keep working.
+    transport_batch_size: Optional[int] = None
+    transport_queue_size: Optional[int] = None
+    ring_slots: Optional[int] = None
+    ring_slot_bytes: Optional[int] = None
     client_process_timeout: Optional[float] = None
-    #: With process client mode (``"mp"``/``"shm"``), kill-and-restart a
-    #: client whose last server-observed activity (hello/time step/heartbeat)
-    #: is older than this many seconds — the paper's unresponsive-client
-    #: protocol, driven by the launcher through the shared heartbeat
-    #: monitor.  The restarted client resends and the server deduplicates;
-    #: kills are counted in ``TransportStats.unresponsive_kills``.
-    #: ``None`` disables the watchdog.
     client_heartbeat_timeout: Optional[float] = None
+    #: The normalised transport configuration — the single object the study
+    #: driver hands to ``make_transport`` and the launcher.  Derived in
+    #: ``__post_init__`` from :attr:`transport` plus any flat overrides.
+    transport_config: TransportConfig = field(init=False, repr=False, compare=False)
 
     # Misc.
     batch_compute_delay: float = 0.0
@@ -90,20 +85,44 @@ class OnlineStudyConfig:
             raise ConfigurationError("buffer_threshold must be in [0, capacity]")
         if self.batch_size <= 0:
             raise ConfigurationError("batch_size must be positive")
-        if self.transport not in ("inproc", "mp", "shm"):
-            raise ConfigurationError("transport must be 'inproc', 'mp' or 'shm'")
-        if self.transport_batch_size <= 0:
-            raise ConfigurationError("transport_batch_size must be positive")
-        if self.ring_slots <= 0:
-            raise ConfigurationError("ring_slots must be positive")
-        if self.ring_slot_bytes <= 0:
-            raise ConfigurationError("ring_slot_bytes must be positive")
-        if self.client_process_timeout is not None and self.client_process_timeout <= 0:
-            raise ConfigurationError("client_process_timeout must be positive or None")
-        if self.client_heartbeat_timeout is not None and self.client_heartbeat_timeout <= 0:
-            raise ConfigurationError("client_heartbeat_timeout must be positive or None")
         if self.max_concurrent_clients <= 0:
             raise ConfigurationError("max_concurrent_clients must be positive")
+        self._normalize_transport()
+
+    def _normalize_transport(self) -> None:
+        """Fold the flat legacy knobs and :attr:`transport` into one config.
+
+        ``TransportConfig.resolve`` is the single normalization point (it
+        also validates every transport field); the resolved values are
+        written back to the flat aliases so legacy readers see the effective
+        configuration, and :attr:`transport` is collapsed to the backend
+        name for summaries and backend dispatch.
+        """
+        flat = {
+            "transport_batch_size": self.transport_batch_size,
+            "transport_queue_size": self.transport_queue_size,
+            "ring_slots": self.ring_slots,
+            "ring_slot_bytes": self.ring_slot_bytes,
+            "client_process_timeout": self.client_process_timeout,
+            "client_heartbeat_timeout": self.client_heartbeat_timeout,
+        }
+        used = sorted(name for name, value in flat.items() if value is not None)
+        if used:
+            warnings.warn(
+                f"flat transport field(s) {', '.join(used)} are deprecated; "
+                "pass transport=TransportConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        resolved = TransportConfig.resolve(self.transport, **flat)
+        self.transport_config = resolved
+        self.transport = resolved.backend
+        self.transport_batch_size = resolved.batch_size
+        self.transport_queue_size = resolved.queue_size
+        self.ring_slots = resolved.shm.ring_slots
+        self.ring_slot_bytes = resolved.shm.ring_slot_bytes
+        self.client_process_timeout = resolved.process_timeout
+        self.client_heartbeat_timeout = resolved.heartbeat_timeout
 
     @property
     def lr_step_batches(self) -> int:

@@ -3,14 +3,17 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
 from repro.core.metrics import TrainingMetrics, throughput_from_summary
-from repro.launcher.launcher import LauncherReport
-from repro.offline.trainer import OfflineTrainingResult
-from repro.server.server import ServerResult
+
+if TYPE_CHECKING:  # annotation-only: a runtime import would close the
+    # core ⇄ server import cycle (server.serving is importable on its own).
+    from repro.launcher.launcher import LauncherReport
+    from repro.offline.trainer import OfflineTrainingResult
+    from repro.server.server import ServerResult
 
 
 @dataclass

@@ -101,7 +101,7 @@ class OnlineStudy:
             series_sizes=cfg.series_sizes,
             max_concurrent_clients=cfg.max_concurrent_clients,
             inter_series_delay=cfg.inter_series_delay,
-            client_mode="process" if cfg.transport in ("mp", "shm") else "thread",
+            client_mode=cfg.transport_config.client_mode,
             process_join_timeout=cfg.client_process_timeout,
             heartbeat_timeout=cfg.client_heartbeat_timeout,
         )
@@ -116,16 +116,15 @@ class OnlineStudy:
     def run(self) -> OnlineStudyResult:
         """Run the full online study (blocking) and return its result."""
         cfg = self.config
+        # ``transport_config`` is the already-normalised TransportConfig (the
+        # flat legacy knobs were folded in at construction).  Only the
+        # launcher concurrency bound travels separately: the shm ring grid is
+        # a slot table sized by it, not by the ensemble size — clients lease
+        # a ring at connect and release it once their finished marker lands.
         router = make_transport(
-            cfg.transport,
+            cfg.transport_config,
             cfg.num_ranks,
-            max_queue_size=cfg.transport_queue_size,
-            # The shm ring grid is a slot table sized by the launcher's
-            # concurrency bound, not the ensemble size: clients lease a ring
-            # at connect and release it once their finished marker lands.
             max_concurrent_clients=cfg.max_concurrent_clients,
-            ring_slots=cfg.ring_slots,
-            ring_slot_bytes=cfg.ring_slot_bytes,
         )
         specs = self._build_specs()
         server = self._build_server(router)

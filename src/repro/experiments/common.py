@@ -10,13 +10,14 @@ with a given buffer policy.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.core.config import OfflineStudyConfig, OnlineStudyConfig, SurrogateArchitecture
 from repro.core.heat_usecase import HeatSurrogateCase, HeatSurrogateSpec
 from repro.core.results import OfflineStudyResult, OnlineStudyResult
 from repro.core.study import OfflineStudy, OnlineStudy
 from repro.offline.storage import SimulationStore
+from repro.parallel.transport import TransportConfig
 from repro.server.validation import ValidationSet
 from repro.solvers.heat2d import HeatEquationConfig
 
@@ -84,18 +85,27 @@ def online_config(
     num_ranks: int = 1,
     use_series: bool = True,
     max_batches: Optional[int] = None,
-    transport: str = "inproc",
-    transport_batch_size: int = 1,
+    transport: Union[str, TransportConfig] = "inproc",
+    transport_batch_size: Optional[int] = None,
     ring_slots: Optional[int] = None,
     ring_slot_bytes: Optional[int] = None,
     client_heartbeat_timeout: Optional[float] = None,
 ) -> OnlineStudyConfig:
-    """Online study configuration for one buffer policy and GPU count."""
-    ring_overrides = {}
-    if ring_slots is not None:
-        ring_overrides["ring_slots"] = ring_slots
-    if ring_slot_bytes is not None:
-        ring_overrides["ring_slot_bytes"] = ring_slot_bytes
+    """Online study configuration for one buffer policy and GPU count.
+
+    ``transport`` takes a backend name or a full
+    :class:`~repro.parallel.transport.TransportConfig`; the remaining flat
+    transport keywords are legacy conveniences folded into it here (through
+    ``TransportConfig.resolve``, the same normalization the study config
+    applies), so the returned config never trips the deprecation path.
+    """
+    transport = TransportConfig.resolve(
+        transport,
+        transport_batch_size=transport_batch_size,
+        ring_slots=ring_slots,
+        ring_slot_bytes=ring_slot_bytes,
+        client_heartbeat_timeout=client_heartbeat_timeout,
+    )
     return OnlineStudyConfig(
         num_simulations=scale.num_simulations,
         series_sizes=list(scale.series_sizes) if use_series else None,
@@ -113,9 +123,6 @@ def online_config(
         batch_compute_delay=scale.batch_compute_delay,
         seed=scale.seed,
         transport=transport,
-        transport_batch_size=transport_batch_size,
-        client_heartbeat_timeout=client_heartbeat_timeout,
-        **ring_overrides,
     )
 
 
@@ -128,8 +135,8 @@ def run_online_with_buffer(
     use_series: bool = True,
     max_batches: Optional[int] = None,
     num_simulations: Optional[int] = None,
-    transport: str = "inproc",
-    transport_batch_size: int = 1,
+    transport: Union[str, TransportConfig] = "inproc",
+    transport_batch_size: Optional[int] = None,
     ring_slots: Optional[int] = None,
     ring_slot_bytes: Optional[int] = None,
     client_heartbeat_timeout: Optional[float] = None,

@@ -19,7 +19,12 @@ With ``client_mode="process"`` each client runs in a forked OS process (the
 paper's real deployment shape) instead of a pool thread: the process streams
 through a multi-process transport backend, reports its step count over a
 pipe, and a dead or killed process is restarted like a failed one — the
-restarted client resends from step zero and the server deduplicates.
+restarted client resends from step zero and the server deduplicates.  The
+transport crosses the fork by reference but its live channels do not need
+to: the ``tcp`` backend's forked clients inherit only the front door's
+``(host, port)`` and dial their own connection (handshake included) at the
+first push, so the same launcher drives shared-memory and socket backends
+(the study picks the mode via ``TransportConfig.client_mode``).
 """
 
 from __future__ import annotations

@@ -14,7 +14,10 @@ network) this package provides:
   backend (:class:`MessageRouter`), a multi-process backend streaming packed
   message batches (:class:`MultiprocessTransport`), a shared-memory
   ring-buffer backend for the hot rank channels (:class:`ShmRingTransport`),
-  and the packed batch wire format (:func:`pack_many` / :func:`unpack_many`).
+  a TCP backend streaming length-prefixed frames to the server's asyncio
+  front door (:class:`TcpTransport`), and the packed batch wire format
+  (:func:`pack_many` / :func:`unpack_many`).  Backends are selected through
+  the :func:`make_transport` registry with a :class:`TransportConfig`.
 """
 
 from repro.parallel.collectives import ring_allreduce, tree_broadcast
@@ -38,13 +41,19 @@ from repro.parallel.partition import (
     split_grid_2d,
 )
 from repro.parallel.spmd import SPMDExecutor, SPMDFailure
+from repro.parallel.tcp_transport import TcpTransport
 from repro.parallel.transport import (
     Connection,
     MessageRouter,
     RouterClosed,
+    ShmOptions,
+    TcpOptions,
     Transport,
+    TransportConfig,
     TransportStats,
+    available_backends,
     make_transport,
+    register_backend,
 )
 
 __all__ = [
@@ -67,10 +76,16 @@ __all__ = [
     "MultiprocessTransport",
     "ShmRing",
     "ShmRingTransport",
+    "TcpTransport",
     "Connection",
     "RouterClosed",
     "Transport",
     "TransportStats",
+    "TransportConfig",
+    "ShmOptions",
+    "TcpOptions",
+    "available_backends",
+    "register_backend",
     "make_transport",
     "pack_many",
     "unpack_many",

@@ -19,19 +19,15 @@ from __future__ import annotations
 import multiprocessing as mp
 import queue
 import threading
-from collections import deque
-from typing import Deque, List, Optional
+from typing import List, Optional
 
-from repro.buffers.columns import ColumnBatch
-from repro.parallel.messages import (
-    Message,
-    WireFormatError,
-    column_batch_to_messages,
-    plan_many,
-    unpack_columns,
-    unpack_many,
+from repro.parallel.messages import Message, plan_many
+from repro.parallel.transport import (
+    PackedDrainMixin,
+    RouterClosed,
+    Transport,
+    TransportStats,
 )
-from repro.parallel.transport import RouterClosed, Transport, TransportStats
 from repro.utils.logging import get_logger
 
 logger = get_logger("parallel.mp_transport")
@@ -100,7 +96,7 @@ class _SharedStats:
         )
 
 
-class MultiprocessTransport(Transport):
+class MultiprocessTransport(PackedDrainMixin, Transport):
     """Transport whose rank channels are ``multiprocessing`` queues.
 
     Parameters
@@ -133,7 +129,7 @@ class MultiprocessTransport(Transport):
         self._queues = [mp.Queue(maxsize=max_queue_size) for _ in range(num_server_ranks)]
         # Per-rank overflow of deserialised items: plain messages and/or
         # columnar chunks, whichever shape the producing poll used.
-        self._leftover: List[Deque[object]] = [deque() for _ in range(num_server_ranks)]
+        self._init_leftovers(num_server_ranks)
         self._closed = _SharedFlag()
         self._shared = _SharedStats(num_server_ranks)
         # Reusable pack scratch, one per pushing thread (thread-local rather
@@ -182,74 +178,8 @@ class MultiprocessTransport(Transport):
         self._shared.record_unresponsive_kill()
 
     # ----------------------------------------------------------------- server
-    def poll_many(self, rank: int, max_messages: int = 64,
-        timeout: float | None = 0.05) -> List[Message]:
-        return self._poll_items(rank, max_messages, timeout, columnar=False)
-
-    def poll_batches(self, rank: int, max_messages: int = 64,
-        timeout: float | None = 0.05) -> list:
-        """Columnar drain: homogeneous packed batches decode straight into
-        :class:`ColumnBatch` chunks (no per-message objects); control
-        messages and ragged batches arrive as plain messages, in order.
-        """
-        return self._poll_items(rank, max_messages, timeout, columnar=True)
-
-    def _poll_items(self, rank: int, max_messages: int, timeout: float | None,
-                    columnar: bool) -> list:
-        if max_messages <= 0:
-            raise ValueError("max_messages must be positive")
-        self._check_rank(rank)
-        items: list = []
-        count = self._take_leftover(rank, items, max_messages, columnar)
-        if not items:
-            # Block up to ``timeout`` for the first batch only.
-            batch = self._get_batch(rank, timeout, columnar)
-            if batch is None:
-                return []
-            count = self._absorb(rank, items, batch, max_messages, count)
-        # Drain whatever else is already queued without blocking.
-        while count < max_messages:
-            batch = self._get_batch(rank, None, columnar)
-            if batch is None:
-                break
-            count = self._absorb(rank, items, batch, max_messages, count)
-        return items
-
-    def _take_leftover(self, rank: int, out: list, max_messages: int,
-                       columnar: bool) -> int:
-        """Move queued leftovers into ``out``; returns the message count taken.
-
-        Leftovers may be plain messages or columnar chunks, whichever shape a
-        previous poll produced; a chunk is sliced to fit the budget in
-        columnar mode and exploded into messages otherwise (the rare path of
-        a consumer switching drain styles mid-stream).
-        """
-        leftover = self._leftover[rank]
-        count = 0
-        while leftover and count < max_messages:
-            item = leftover[0]
-            if not isinstance(item, ColumnBatch):
-                out.append(leftover.popleft())
-                count += 1
-                continue
-            room = max_messages - count
-            if not columnar:
-                item = leftover.popleft()
-                messages = column_batch_to_messages(item)
-                out.extend(messages[:room])
-                count += min(room, len(messages))
-                for message in reversed(messages[room:]):
-                    leftover.appendleft(message)
-                continue
-            if len(item) <= room:
-                out.append(leftover.popleft())
-                count += len(item)
-            else:
-                out.append(item[:room])
-                leftover[0] = item[room:]
-                count = max_messages
-        return count
-
+    # The budgeted drain (poll_many/poll_batches, leftover bookkeeping) comes
+    # from PackedDrainMixin; only the channel pop is queue-specific.
     def _get_batch(self, rank: int, timeout: float | None,
                    columnar: bool = False) -> Optional[list]:
         """Pop and deserialise one packed batch; ``None`` when nothing queued.
@@ -270,57 +200,13 @@ class MultiprocessTransport(Transport):
             logger.warning("rank %d: discarding corrupt transport buffer", rank, exc_info=True)
             self._shared.record_dropped(1)
             return []
-        try:
-            if columnar:
-                chunk = unpack_columns(buffer)
-                if chunk is not None:
-                    return [chunk]
-            # copy_payloads: one block copy lets the queue buffer be freed
-            # immediately instead of being pinned by every retained payload
-            # view (the messages collectively own the copied block).
-            return unpack_many(buffer, copy_payloads=True)
-        except WireFormatError:
-            logger.warning("rank %d: discarding unparsable transport batch", rank, exc_info=True)
-            self._shared.record_dropped(1)
-            return []
-
-    def _absorb(self, rank: int, out: list, batch: list,
-                max_messages: int, count: int = 0) -> int:
-        """Append ``batch`` items to ``out`` within the message budget.
-
-        ``batch`` holds messages and/or columnar chunks; a chunk counts
-        ``len(chunk)`` messages.  Whatever exceeds the budget goes to the
-        rank's leftover deque (chunks are split by slicing, which makes
-        column views, not copies).  Returns the updated message count.
-        """
-        leftover = self._leftover[rank]
-        for index, item in enumerate(batch):
-            if count >= max_messages:
-                leftover.extend(batch[index:])
-                break
-            if isinstance(item, ColumnBatch):
-                room = max_messages - count
-                if len(item) <= room:
-                    out.append(item)
-                    count += len(item)
-                else:
-                    out.append(item[:room])
-                    leftover.append(item[room:])
-                    count = max_messages
-            else:
-                out.append(item)
-                count += 1
-        return count
+        return self._decode_packed(buffer, rank, columnar)
 
     def pending(self, rank: int) -> int:
         """Deserialised leftovers plus queued batches (packed batches count
         once, leftover columnar chunks by their sample count)."""
         self._check_rank(rank)
-        leftover = sum(
-            len(item) if isinstance(item, ColumnBatch) else 1
-            for item in self._leftover[rank]
-        )
-        return leftover + self._queues[rank].qsize()
+        return self._leftover_count(rank) + self._queues[rank].qsize()
 
     # --------------------------------------------------------------- lifecycle
     def close(self) -> None:

@@ -96,6 +96,8 @@ from repro.parallel.messages import (
 )
 from repro.parallel.mp_transport import MultiprocessTransport
 from repro.parallel.transport import Connection, RouterClosed, TransportStats
+from repro.utils.constants import DEFAULT_RING_SLOT_BYTES as _DEFAULT_RING_SLOT_BYTES
+from repro.utils.constants import DEFAULT_RING_SLOTS as _DEFAULT_RING_SLOTS
 from repro.utils.logging import get_logger
 
 logger = get_logger("parallel.shm_ring")
@@ -146,8 +148,11 @@ _SINGLE_CORE_PARK = 5e-4
 #: cheap).
 _FULL_RING_BACKOFF = 5e-4 if (os.cpu_count() or 1) > 1 else 1e-4
 
-DEFAULT_RING_SLOTS = 16
-DEFAULT_RING_SLOT_BYTES = 64 * 1024
+# Ring geometry defaults live in ``repro.utils.constants`` (single source of
+# truth shared with the study config); the names stay re-exported here for
+# existing importers.
+DEFAULT_RING_SLOTS = _DEFAULT_RING_SLOTS
+DEFAULT_RING_SLOT_BYTES = _DEFAULT_RING_SLOT_BYTES
 
 #: How long a connecting client waits for a free ring-slot lease before
 #: giving up with an actionable error.  Leases free as soon as every rank

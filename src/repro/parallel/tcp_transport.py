@@ -1,0 +1,373 @@
+"""TCP transport backend: packed batches as length-prefixed frames.
+
+The first backend where client and server share **no memory**: clients
+connect to the server's asyncio front door
+(:class:`repro.server.serving.AsyncFrontDoor`) by address and stream the
+same packed batched wire format the mp/shm backends use
+(:func:`repro.parallel.messages.pack_many` layout), wrapped in the frame
+protocol of :mod:`repro.parallel.framing` — so the study's fault protocol
+(restart-resend-dedup, heartbeat watchdog) works unchanged over sockets.
+
+Client side: each pushing thread keeps one lazily created
+:class:`_ClientWriter` (socket + reusable pack scratch).  The socket is
+opened at the first push **after** any fork — the launcher's forked client
+processes inherit only the address, never a live socket — and opens with a
+handshake frame carrying the client id and its dedup epoch (the hello's
+restart count).  Batches are packed with ``plan_many``/``write_into``
+straight into the scratch behind a reserved frame header, so the
+uncompressed hot path sends without any intermediate copy; per-batch
+compression (zlib/lz4) kicks in only when it shrinks the payload.
+
+Server side: the front door enqueues received frames on per-rank
+``queue.Queue`` channels; the aggregator threads drain them through the
+shared :class:`repro.parallel.transport.PackedDrainMixin` machinery, where
+the frame body is inflated and decoded (columnar chunk first, per-message
+fallback).  Traffic statistics are recorded at decode time in the server
+process; drops that happen inside a forked client process (send timeout,
+connection loss) are counted in that process's copy of the stats and
+surface server-side as torn or missing frames instead.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.buffers.columns import ColumnBatch
+from repro.parallel import framing
+from repro.parallel.messages import ClientHello, Message, plan_many
+from repro.parallel.transport import (
+    Connection,
+    PackedDrainMixin,
+    RouterClosed,
+    Transport,
+    TransportStats,
+)
+from repro.utils.exceptions import ConfigurationError
+from repro.utils.logging import get_logger
+
+logger = get_logger("parallel.tcp_transport")
+
+_SCRATCH_BYTES = 64 * 1024
+
+
+class _ClientWriter:
+    """One pushing thread's socket to the front door, created lazily post-fork.
+
+    Keyed per (thread, pid): the transport object crosses the launcher's
+    fork by reference, but a socket must not — the child opens its own
+    connection (and sends its own handshake) at its first push.
+    """
+
+    __slots__ = ("host", "port", "compression", "connect_timeout",
+                 "client_id", "epoch", "pid", "_sock", "_scratch")
+
+    def __init__(self, host: str, port: int, compression: Optional[str],
+                 connect_timeout: float, client_id: int) -> None:
+        self.host = host
+        self.port = port
+        self.compression = compression
+        self.connect_timeout = connect_timeout
+        self.client_id = int(client_id)
+        self.epoch = 0
+        self.pid = os.getpid()
+        self._sock: Optional[socket.socket] = None
+        self._scratch = bytearray(_SCRATCH_BYTES)
+
+    def _ensure_connected(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.connect_timeout)
+        # One small frame per control message must not sit in Nagle's buffer
+        # waiting for a payload that may be seconds away.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.sendall(framing.encode_hello(self.client_id, self.epoch))
+        self._sock = sock
+        return sock
+
+    def send_batch(self, rank: int, messages: List[Message],
+                   timeout: Optional[float]) -> int:
+        """Pack, frame and send one batch; returns the frame's wire bytes."""
+        plan = plan_many(messages)
+        needed = framing.FRAME_HEADER_BYTES + plan.nbytes
+        if len(self._scratch) < needed:
+            self._scratch = bytearray(max(needed, 2 * len(self._scratch)))
+        scratch = self._scratch
+        plan.write_into(scratch, framing.FRAME_HEADER_BYTES)
+        payload = memoryview(scratch)[framing.FRAME_HEADER_BYTES:needed]
+        body, flags = framing.compress_body(payload, self.compression)
+        sock = self._ensure_connected()
+        sock.settimeout(timeout)
+        if flags == 0:
+            # Uncompressed hot path: header written into the reserved scratch
+            # prefix, one sendall over the contiguous frame, zero extra copies.
+            framing.pack_header_into(scratch, 0, framing.KIND_BATCH, 0, rank,
+                                     plan.nbytes, plan.nbytes)
+            sock.sendall(memoryview(scratch)[:needed])
+            return needed
+        header = framing.pack_header(framing.KIND_BATCH, flags, rank,
+                                     len(body), plan.nbytes)
+        sock.sendall(header)
+        sock.sendall(body)
+        return framing.FRAME_HEADER_BYTES + len(body)
+
+    def reset(self) -> None:
+        """Drop the socket; a timed-out sendall leaves a part-written frame,
+        so the stream can only be resynced by reconnecting."""
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class TcpTransport(PackedDrainMixin, Transport):
+    """Transport whose rank channels are TCP streams into an asyncio front door.
+
+    Parameters
+    ----------
+    num_server_ranks:
+        Number of server ranks (aggregator threads); at most 255 (the frame
+        header routes with a u8 rank field).
+    max_queue_size:
+        Bound of each server-side rank channel **in frames**; with
+        client-side batching a frame holds up to ``Connection.batch_size``
+        messages.  A full channel stalls that client's reader task, which
+        backs the pressure up the TCP window into the client's ``sendall``.
+    host, port:
+        Bind address of the front door; ``port=0`` binds an ephemeral port,
+        resolved in :attr:`address` before any client connects.
+    compression:
+        ``None``, ``"zlib"`` or ``"lz4"`` — applied per batch and only when
+        it shrinks the payload (the frame header flags the codec per frame).
+    connect_timeout:
+        Client-side bound on establishing a connection.
+    """
+
+    #: Frame bodies are decoded with one adoption copy per batch
+    #: (``unpack_many(copy_payloads=True)`` / ``unpack_columns``), so polled
+    #: messages own their payload memory outright.
+    payloads_owned = True
+
+    def __init__(
+        self,
+        num_server_ranks: int,
+        max_queue_size: int = 10_000,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        compression: Optional[str] = None,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        if num_server_ranks <= 0:
+            raise ValueError("num_server_ranks must be positive")
+        if num_server_ranks > 255:
+            raise ValueError("tcp transport routes with a u8 rank field (max 255 ranks)")
+        if compression not in (None, "zlib", "lz4"):
+            raise ConfigurationError(f"unknown tcp compression {compression!r}")
+        if compression == "lz4" and not framing.lz4_available():
+            raise ConfigurationError(
+                "compression='lz4' requires the optional lz4 package; "
+                "use 'zlib' or None"
+            )
+        self.num_server_ranks = int(num_server_ranks)
+        self.max_queue_size = int(max_queue_size)
+        self.compression = compression
+        self.connect_timeout = float(connect_timeout)
+        self._queues: List[queue.Queue] = [
+            queue.Queue(maxsize=max_queue_size) for _ in range(num_server_ranks)
+        ]
+        self._init_leftovers(num_server_ranks)
+        self._closed = threading.Event()
+        self._stats_lock = threading.Lock()
+        self._stats = TransportStats()
+        #: client id -> last announced dedup epoch, from connection handshakes.
+        self._client_epochs: Dict[int, int] = {}
+        self._local = threading.local()
+        # Stats live in the server process only (nothing is fork-shared); a
+        # forked client that records a drop writes its own copy.  The pid
+        # guard keeps such writes from touching a lock that may have been
+        # forked while held by a server thread.
+        self._origin_pid = os.getpid()
+        # The serving tier sits above parallel/ in the layering; imported
+        # lazily so the parallel package stays importable on its own.
+        from repro.server.serving import AsyncFrontDoor
+
+        self._front_door = AsyncFrontDoor(self, host=host, port=int(port))
+        self.host, self.port = self._front_door.start()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The front door's bound (host, port) — what remote clients dial."""
+        return (self.host, self.port)
+
+    # ----------------------------------------------------------------- client
+    def connect(self, client_id: int, batch_size: int = 1) -> Connection:
+        connection = super().connect(client_id, batch_size)
+        # Reset this thread's writer so the next push opens a socket whose
+        # handshake announces the new client id.
+        self._local.client_id = int(client_id)
+        writer = getattr(self._local, "writer", None)
+        if writer is not None:
+            writer.reset()
+            self._local.writer = None
+        return connection
+
+    def _writer(self) -> _ClientWriter:
+        local = self._local
+        writer = getattr(local, "writer", None)
+        if writer is None or writer.pid != os.getpid():
+            writer = _ClientWriter(
+                self.host, self.port, self.compression, self.connect_timeout,
+                client_id=int(getattr(local, "client_id", -1)),
+            )
+            local.writer = writer
+        return writer
+
+    def push(self, rank: int, message: Message, timeout: float | None = None) -> None:
+        self.push_many(rank, [message], timeout=timeout)
+
+    def push_many(self, rank: int, messages: List[Message],
+                  timeout: float | None = None) -> None:
+        """Serialise ``messages`` into one frame and send it to the front door."""
+        self._check_rank(rank)
+        if not messages:
+            return
+        if self._closed.is_set():
+            self._record_dropped(len(messages))
+            raise RouterClosed("transport is closed")
+        writer = self._writer()
+        first = messages[0]
+        if isinstance(first, ClientHello):
+            # The hello's restart count is the dedup epoch the next-opened
+            # connection announces in its handshake (control messages flush
+            # ahead of data, so the hello is always the first push of a run).
+            writer.epoch = int(first.restart_count)
+        try:
+            writer.send_batch(rank, messages, timeout)
+        except TimeoutError:
+            writer.reset()
+            self._record_dropped(len(messages))
+            raise queue.Full(f"tcp send to rank {rank} timed out") from None
+        except OSError as exc:
+            writer.reset()
+            self._record_dropped(len(messages))
+            raise RouterClosed(
+                f"tcp connection to {self.host}:{self.port} lost: {exc}"
+            ) from exc
+
+    def _record_dropped(self, count: int) -> None:
+        if count and os.getpid() == self._origin_pid:
+            with self._stats_lock:
+                self._stats.dropped_messages += count
+
+    def record_unresponsive_kill(self) -> None:
+        """Count one launcher-side kill of an unresponsive client process."""
+        with self._stats_lock:
+            self._stats.unresponsive_kills += 1
+
+    # ----------------------------------------------- front-door sink interface
+    # Called from the event-loop thread; everything here must stay lock-light
+    # and non-blocking.
+    def try_enqueue(self, rank: int, entry: tuple) -> bool:
+        """Enqueue one received frame; ``False`` leaves back-pressure to the caller."""
+        try:
+            self._queues[rank].put_nowait(entry)
+        except queue.Full:
+            return False
+        return True
+
+    def register_client(self, client_id: int, epoch: int, peer) -> None:
+        """Record a connection handshake (client id + dedup epoch)."""
+        with self._stats_lock:
+            previous = self._client_epochs.get(client_id)
+            self._client_epochs[client_id] = max(int(epoch), previous or 0)
+        if previous is not None and epoch > previous:
+            logger.info("client %d reconnected from %s with epoch %d (was %d): "
+                        "expecting a resend, the message log dedups",
+                        client_id, peer, epoch, previous)
+
+    def client_epochs(self) -> Dict[int, int]:
+        """Snapshot of the announced dedup epochs (diagnostics/tests)."""
+        with self._stats_lock:
+            return dict(self._client_epochs)
+
+    def record_torn_frame(self) -> None:
+        """Count a connection that died mid-frame (client killed mid-send)."""
+        with self._stats_lock:
+            self._stats.torn_batches += 1
+
+    def record_rejected_frame(self) -> None:
+        """Count a frame dropped for protocol violations or at teardown."""
+        self._record_dropped(1)
+
+    # ----------------------------------------------------------------- server
+    def _get_batch(self, rank: int, timeout: float | None,
+                   columnar: bool = False) -> Optional[list]:
+        """Pop one received frame, inflate and decode it.
+
+        Traffic is recorded here — at decode, in the server process — since
+        pushes happen in client processes whose stats copies are invisible.
+        An undecodable body (stream desync, codec mismatch) counts as one
+        dropped batch and is skipped, like a corrupt mp queue buffer.
+        """
+        try:
+            if timeout is None:
+                entry = self._queues[rank].get_nowait()
+            else:
+                entry = self._queues[rank].get(timeout=timeout)
+        except queue.Empty:
+            return None
+        body, flags, raw_len, wire_nbytes = entry
+        try:
+            buffer = framing.decode_body(body, flags, raw_len)
+        except framing.FrameError:
+            logger.warning("rank %d: discarding undecodable tcp frame", rank, exc_info=True)
+            self._record_dropped(1)
+            return []
+        batch = self._decode_packed(buffer, rank, columnar)
+        delivered = sum(
+            len(item) if isinstance(item, ColumnBatch) else 1 for item in batch
+        )
+        if delivered:
+            with self._stats_lock:
+                self._stats.record_batch(rank, delivered, wire_nbytes)
+        return batch
+
+    def pending(self, rank: int) -> int:
+        """Decoded leftovers plus queued frames (a frame counts once, like a
+        packed mp batch; leftover columnar chunks by their sample count)."""
+        self._check_rank(rank)
+        return self._leftover_count(rank) + self._queues[rank].qsize()
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self._closed.set()
+
+    def shutdown(self) -> None:
+        """Close, stop the front door and release the queued frames."""
+        self.close()
+        self._front_door.stop()
+        writer = getattr(self._local, "writer", None)
+        if writer is not None:
+            writer.reset()
+            self._local.writer = None
+        for rank, q in enumerate(self._queues):
+            try:
+                while True:
+                    q.get_nowait()
+            except queue.Empty:
+                pass
+            self._leftover[rank].clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed.is_set()
+
+    @property
+    def stats(self) -> TransportStats:
+        return self._stats

@@ -15,9 +15,15 @@ channel.  Two backends implement the interface:
   isolation, but the hot time-step channels are lock-free shared-memory SPSC
   ring buffers (one per client and rank); only rare control messages ride
   the ``mp.Queue``.
+* :class:`repro.parallel.tcp_transport.TcpTransport` — the first backend
+  where client and server share no memory: length-prefixed frames carrying
+  the same packed batches over TCP sockets into an asyncio front door
+  (:class:`repro.server.serving.AsyncFrontDoor`).
 
-Use :func:`make_transport` to build a backend from a study-config string.
-Both backends keep aggregate statistics (messages/bytes routed, drops) used
+Backend selection is a registry: :func:`make_transport` builds a backend
+from a study-config string or a typed :class:`TransportConfig`, and
+:func:`register_backend` plugs in new backends without touching call sites.
+All backends keep aggregate statistics (messages/bytes routed, drops) used
 by the throughput experiments.
 """
 
@@ -25,11 +31,24 @@ from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
-from repro.parallel.messages import Message, columnize
-from repro.utils.exceptions import ReproError
+from repro.buffers.columns import ColumnBatch
+from repro.parallel.messages import (
+    Message,
+    WireFormatError,
+    column_batch_to_messages,
+    columnize,
+    unpack_columns,
+    unpack_many,
+)
+from repro.utils.constants import DEFAULT_RING_SLOT_BYTES, DEFAULT_RING_SLOTS
+from repro.utils.exceptions import ConfigurationError, ReproError
+from repro.utils.logging import get_logger
+
+logger = get_logger("parallel.transport")
 
 
 class RouterClosed(ReproError):
@@ -62,6 +81,12 @@ class TransportStats:
         self.messages_routed += 1
         self.bytes_routed += int(nbytes)
         self.per_rank_messages[rank] = self.per_rank_messages.get(rank, 0) + 1
+
+    def record_batch(self, rank: int, count: int, nbytes: int) -> None:
+        """Record ``count`` messages that crossed the channel as one batch."""
+        self.messages_routed += int(count)
+        self.bytes_routed += int(nbytes)
+        self.per_rank_messages[rank] = self.per_rank_messages.get(rank, 0) + int(count)
 
 
 class Transport:
@@ -183,6 +208,164 @@ class Transport:
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.num_server_ranks:
             raise ValueError(f"server rank {rank} out of range")
+
+
+class PackedDrainMixin:
+    """Server-side drain machinery shared by the wire backends (mp, shm, tcp).
+
+    Wire backends deliver whole packed batches per channel slot; a poll
+    budget therefore rarely lines up with batch boundaries.  This mixin
+    implements the budgeted drain — block for the first batch only, then
+    drain without blocking, park the overshoot in a per-rank leftover deque —
+    plus the shared packed-buffer decode (columnar chunk first, per-message
+    fallback, corrupt buffers dropped and counted).
+
+    A concrete backend provides:
+
+    * ``self._leftover`` — one ``deque`` per rank, created via
+      :meth:`_init_leftovers` in ``__init__`` (each rank has exactly one
+      aggregator thread, so the deques need no lock);
+    * :meth:`_get_batch` — pop and decode one batch from the rank channel;
+    * ``_record_dropped``/``_check_rank`` from :class:`Transport`.
+    """
+
+    _leftover: List[Deque[object]]
+
+    def _init_leftovers(self, num_server_ranks: int) -> None:
+        self._leftover = [deque() for _ in range(num_server_ranks)]
+
+    def poll_many(self, rank: int, max_messages: int = 64,
+        timeout: float | None = 0.05) -> List[Message]:
+        return self._poll_items(rank, max_messages, timeout, columnar=False)
+
+    def poll_batches(self, rank: int, max_messages: int = 64,
+        timeout: float | None = 0.05) -> list:
+        """Columnar drain: homogeneous packed batches decode straight into
+        :class:`ColumnBatch` chunks (no per-message objects); control
+        messages and ragged batches arrive as plain messages, in order.
+        """
+        return self._poll_items(rank, max_messages, timeout, columnar=True)
+
+    def _poll_items(self, rank: int, max_messages: int, timeout: float | None,
+                    columnar: bool) -> list:
+        if max_messages <= 0:
+            raise ValueError("max_messages must be positive")
+        self._check_rank(rank)
+        items: list = []
+        count = self._take_leftover(rank, items, max_messages, columnar)
+        if not items:
+            # Block up to ``timeout`` for the first batch only.
+            batch = self._get_batch(rank, timeout, columnar)
+            if batch is None:
+                return []
+            count = self._absorb(rank, items, batch, max_messages, count)
+        # Drain whatever else is already queued without blocking.
+        while count < max_messages:
+            batch = self._get_batch(rank, None, columnar)
+            if batch is None:
+                break
+            count = self._absorb(rank, items, batch, max_messages, count)
+        return items
+
+    def _take_leftover(self, rank: int, out: list, max_messages: int,
+                       columnar: bool) -> int:
+        """Move queued leftovers into ``out``; returns the message count taken.
+
+        Leftovers may be plain messages or columnar chunks, whichever shape a
+        previous poll produced; a chunk is sliced to fit the budget in
+        columnar mode and exploded into messages otherwise (the rare path of
+        a consumer switching drain styles mid-stream).
+        """
+        leftover = self._leftover[rank]
+        count = 0
+        while leftover and count < max_messages:
+            item = leftover[0]
+            if not isinstance(item, ColumnBatch):
+                out.append(leftover.popleft())
+                count += 1
+                continue
+            room = max_messages - count
+            if not columnar:
+                item = leftover.popleft()
+                messages = column_batch_to_messages(item)
+                out.extend(messages[:room])
+                count += min(room, len(messages))
+                for message in reversed(messages[room:]):
+                    leftover.appendleft(message)
+                continue
+            if len(item) <= room:
+                out.append(leftover.popleft())
+                count += len(item)
+            else:
+                out.append(item[:room])
+                leftover[0] = item[room:]
+                count = max_messages
+        return count
+
+    def _get_batch(self, rank: int, timeout: float | None,
+                   columnar: bool = False) -> Optional[list]:
+        """Pop and decode one batch from the rank channel.
+
+        Returns ``None`` when nothing is queued within ``timeout`` and ``[]``
+        for a batch that was dropped as corrupt (so the drain keeps going).
+        """
+        raise NotImplementedError
+
+    def _decode_packed(self, buffer, rank: int, columnar: bool) -> list:
+        """Decode one packed batch buffer into messages or a columnar chunk.
+
+        An unparsable buffer (a client killed mid-write can tear the byte
+        stream) is counted as one dropped batch and skipped instead of
+        killing the aggregator thread that polls here.
+        """
+        try:
+            if columnar:
+                chunk = unpack_columns(buffer)
+                if chunk is not None:
+                    return [chunk]
+            # copy_payloads: one block copy lets the channel buffer be freed
+            # immediately instead of being pinned by every retained payload
+            # view (the messages collectively own the copied block).
+            return unpack_many(buffer, copy_payloads=True)
+        except WireFormatError:
+            logger.warning("rank %d: discarding unparsable transport batch", rank, exc_info=True)
+            self._record_dropped(1)
+            return []
+
+    def _absorb(self, rank: int, out: list, batch: list,
+                max_messages: int, count: int = 0) -> int:
+        """Append ``batch`` items to ``out`` within the message budget.
+
+        ``batch`` holds messages and/or columnar chunks; a chunk counts
+        ``len(chunk)`` messages.  Whatever exceeds the budget goes to the
+        rank's leftover deque (chunks are split by slicing, which makes
+        column views, not copies).  Returns the updated message count.
+        """
+        leftover = self._leftover[rank]
+        for index, item in enumerate(batch):
+            if count >= max_messages:
+                leftover.extend(batch[index:])
+                break
+            if isinstance(item, ColumnBatch):
+                room = max_messages - count
+                if len(item) <= room:
+                    out.append(item)
+                    count += len(item)
+                else:
+                    out.append(item[:room])
+                    leftover.append(item[room:])
+                    count = max_messages
+            else:
+                out.append(item)
+                count += 1
+        return count
+
+    def _leftover_count(self, rank: int) -> int:
+        """Deserialised leftovers, columnar chunks counted by sample count."""
+        return sum(
+            len(item) if isinstance(item, ColumnBatch) else 1
+            for item in self._leftover[rank]
+        )
 
 
 class MessageRouter(Transport):
@@ -363,48 +546,255 @@ class Connection:
         return [message for batch in self._pending.values() for message in batch]
 
 
+# --------------------------------------------------------------------- config
+@dataclass(frozen=True)
+class ShmOptions:
+    """Geometry of the ``"shm"`` backend's per-(client, rank) SPSC rings.
+
+    Each ring holds ``ring_slots`` packed batches of at most
+    ``ring_slot_bytes`` bytes; oversized batches are split automatically and
+    a single message that cannot fit raises, naming the knob.
+    """
+
+    ring_slots: int = DEFAULT_RING_SLOTS
+    ring_slot_bytes: int = DEFAULT_RING_SLOT_BYTES
+
+    def __post_init__(self) -> None:
+        if self.ring_slots <= 0:
+            raise ConfigurationError("ring_slots must be positive")
+        if self.ring_slot_bytes <= 0:
+            raise ConfigurationError("ring_slot_bytes must be positive")
+
+
+#: Payload compression codecs the tcp backend understands.  ``"zlib"`` is
+#: always available (stdlib); ``"lz4"`` needs the optional ``lz4`` package
+#: and fails with an actionable error at transport construction otherwise.
+TCP_COMPRESSIONS = (None, "zlib", "lz4")
+
+
+@dataclass(frozen=True)
+class TcpOptions:
+    """Address and framing options of the ``"tcp"`` backend.
+
+    ``port=0`` binds an ephemeral port (the study wires the resolved address
+    to its forked clients, so the default never collides).  ``compression``
+    is applied per batch and only when it actually shrinks the payload; the
+    frame header flags the codec, so mixed streams decode transparently.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    compression: Optional[str] = None
+    connect_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.host:
+            raise ConfigurationError("tcp host must be non-empty")
+        if not 0 <= self.port <= 65_535:
+            raise ConfigurationError("tcp port must be in [0, 65535]")
+        if self.compression not in TCP_COMPRESSIONS:
+            raise ConfigurationError(
+                f"tcp compression must be one of {TCP_COMPRESSIONS}, "
+                f"got {self.compression!r}"
+            )
+        if self.connect_timeout <= 0:
+            raise ConfigurationError("tcp connect_timeout must be positive")
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Typed transport configuration: one backend plus its per-backend options.
+
+    This replaces the flat ``transport_*``/``ring_*`` knob sprawl of
+    :class:`repro.core.config.OnlineStudyConfig` — the study config still
+    accepts the old flat fields as deprecation aliases and funnels both
+    spellings through :meth:`resolve`, the single normalization point, so a
+    flat spelling and its typed equivalent always produce identical resolved
+    configs.
+    """
+
+    backend: str = "inproc"
+    #: Client-side batching width (messages per packed buffer / frame).
+    batch_size: int = 1
+    #: Bound of each per-rank channel (messages on ``inproc``, batches on
+    #: the wire backends).
+    queue_size: int = 100_000
+    #: Kill a client process that has not finished after this many seconds
+    #: and restart it (``None`` waits forever); process client mode only.
+    process_timeout: Optional[float] = None
+    #: Kill-and-restart a client whose last server-observed activity is
+    #: older than this many seconds (``None`` disables the watchdog).
+    heartbeat_timeout: Optional[float] = None
+    shm: ShmOptions = field(default_factory=ShmOptions)
+    tcp: TcpOptions = field(default_factory=TcpOptions)
+
+    def __post_init__(self) -> None:
+        if self.backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown transport backend {self.backend!r} "
+                f"(registered: {', '.join(sorted(_BACKENDS))})"
+            )
+        if self.batch_size <= 0:
+            raise ConfigurationError("transport batch_size must be positive")
+        if self.queue_size <= 0:
+            raise ConfigurationError("transport queue_size must be positive")
+        if self.process_timeout is not None and self.process_timeout <= 0:
+            raise ConfigurationError("process_timeout must be positive or None")
+        if self.heartbeat_timeout is not None and self.heartbeat_timeout <= 0:
+            raise ConfigurationError("heartbeat_timeout must be positive or None")
+
+    @property
+    def client_mode(self) -> str:
+        """Launcher client mode this backend needs (``"thread"``/``"process"``)."""
+        return _BACKENDS[self.backend].client_mode
+
+    @classmethod
+    def resolve(
+        cls,
+        transport: Union[str, "TransportConfig"] = "inproc",
+        *,
+        transport_batch_size: Optional[int] = None,
+        transport_queue_size: Optional[int] = None,
+        ring_slots: Optional[int] = None,
+        ring_slot_bytes: Optional[int] = None,
+        client_process_timeout: Optional[float] = None,
+        client_heartbeat_timeout: Optional[float] = None,
+    ) -> "TransportConfig":
+        """Normalize a backend string or config plus legacy flat overrides.
+
+        The single normalization point of the transport API: every flat
+        legacy knob maps onto exactly one typed field, a ``None`` override
+        keeps the base value, and validation runs once on the result.
+        """
+        base = transport if isinstance(transport, TransportConfig) else cls(backend=transport)
+        updates: dict = {}
+        if transport_batch_size is not None:
+            updates["batch_size"] = int(transport_batch_size)
+        if transport_queue_size is not None:
+            updates["queue_size"] = int(transport_queue_size)
+        if client_process_timeout is not None:
+            updates["process_timeout"] = float(client_process_timeout)
+        if client_heartbeat_timeout is not None:
+            updates["heartbeat_timeout"] = float(client_heartbeat_timeout)
+        if ring_slots is not None or ring_slot_bytes is not None:
+            shm_updates: dict = {}
+            if ring_slots is not None:
+                shm_updates["ring_slots"] = int(ring_slots)
+            if ring_slot_bytes is not None:
+                shm_updates["ring_slot_bytes"] = int(ring_slot_bytes)
+            updates["shm"] = replace(base.shm, **shm_updates)
+        return replace(base, **updates) if updates else base
+
+
+# ------------------------------------------------------------------- registry
+#: Factory signature of a registered backend: ``(config, num_server_ranks,
+#: max_concurrent_clients) -> Transport``.
+TransportFactory = Callable[[TransportConfig, int, int], Transport]
+
+
+@dataclass(frozen=True)
+class _BackendEntry:
+    factory: TransportFactory
+    client_mode: str
+
+
+_BACKENDS: Dict[str, _BackendEntry] = {}
+
+
+def register_backend(name: str, factory: TransportFactory,
+                     client_mode: str = "thread") -> None:
+    """Register a transport backend under a config string.
+
+    ``client_mode`` tells the study how the launcher must run clients against
+    this backend: ``"thread"`` for shared-memory-by-reference backends,
+    ``"process"`` for backends that survive a fork (the built-in ``mp``,
+    ``shm`` and ``tcp`` backends).  Re-registering a name replaces the
+    previous factory, which lets tests install instrumented backends.
+    """
+    if client_mode not in ("thread", "process"):
+        raise ValueError(f"client_mode must be 'thread' or 'process', got {client_mode!r}")
+    _BACKENDS[str(name)] = _BackendEntry(factory=factory, client_mode=client_mode)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the registered transport backends, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def _make_inproc(config: TransportConfig, num_server_ranks: int,
+                 max_concurrent_clients: int) -> Transport:
+    return MessageRouter(num_server_ranks, max_queue_size=config.queue_size)
+
+
+def _make_mp(config: TransportConfig, num_server_ranks: int,
+             max_concurrent_clients: int) -> Transport:
+    from repro.parallel.mp_transport import MultiprocessTransport
+
+    return MultiprocessTransport(num_server_ranks, max_queue_size=config.queue_size)
+
+
+def _make_shm(config: TransportConfig, num_server_ranks: int,
+              max_concurrent_clients: int) -> Transport:
+    from repro.parallel.shm_ring import ShmRingTransport
+
+    return ShmRingTransport(
+        num_server_ranks,
+        max_concurrent_clients=max_concurrent_clients,
+        max_queue_size=config.queue_size,
+        ring_slots=config.shm.ring_slots,
+        ring_slot_bytes=config.shm.ring_slot_bytes,
+    )
+
+
+def _make_tcp(config: TransportConfig, num_server_ranks: int,
+              max_concurrent_clients: int) -> Transport:
+    from repro.parallel.tcp_transport import TcpTransport
+
+    options = config.tcp
+    return TcpTransport(
+        num_server_ranks,
+        max_queue_size=config.queue_size,
+        host=options.host,
+        port=options.port,
+        compression=options.compression,
+        connect_timeout=options.connect_timeout,
+    )
+
+
+register_backend("inproc", _make_inproc, client_mode="thread")
+register_backend("mp", _make_mp, client_mode="process")
+register_backend("shm", _make_shm, client_mode="process")
+register_backend("tcp", _make_tcp, client_mode="process")
+
+
 def make_transport(
-    kind: str,
+    kind: Union[str, TransportConfig],
     num_server_ranks: int,
-    max_queue_size: int = 10_000,
+    max_queue_size: Optional[int] = None,
     max_concurrent_clients: int = 8,
     ring_slots: Optional[int] = None,
     ring_slot_bytes: Optional[int] = None,
 ) -> Transport:
-    """Build a transport backend from a study-config string.
+    """Build a transport backend from a config string or :class:`TransportConfig`.
 
-    ``"inproc"`` is the thread-based :class:`MessageRouter`; ``"mp"`` is the
-    multi-process backend carrying packed batches over ``multiprocessing``
-    queues; ``"shm"`` keeps the ``mp`` control queues but moves the hot
-    time-step channels onto shared-memory SPSC rings, one per
-    (ring-slot lease, server-rank) pair — ``max_concurrent_clients`` sizes
-    that slot table (clients lease a ring at connect and release it when
-    their ``ClientFinished`` is delivered, so the grid scales with the
-    *concurrency*, not the ensemble size) and ``ring_slots``/
-    ``ring_slot_bytes`` set the per-ring geometry (``None`` keeps the
-    backend defaults).
+    ``"inproc"`` is the thread-based :class:`MessageRouter`; ``"mp"`` carries
+    packed batches over ``multiprocessing`` queues; ``"shm"`` moves the hot
+    time-step channels onto shared-memory SPSC rings; ``"tcp"`` frames the
+    packed batches over sockets into the asyncio front door.  The legacy
+    keyword overrides (``max_queue_size``, ``ring_slots``,
+    ``ring_slot_bytes``) stay accepted and fold into the resolved
+    :class:`TransportConfig`; ``max_concurrent_clients`` sizes the shm
+    slot-lease table (the grid scales with the *concurrency*, not the
+    ensemble size).  Backends registered via :func:`register_backend` are
+    constructed the same way.
     """
-    if kind == "inproc":
-        return MessageRouter(num_server_ranks, max_queue_size=max_queue_size)
-    if kind == "mp":
-        from repro.parallel.mp_transport import MultiprocessTransport
-
-        return MultiprocessTransport(num_server_ranks, max_queue_size=max_queue_size)
-    if kind == "shm":
-        from repro.parallel.shm_ring import (
-            DEFAULT_RING_SLOT_BYTES,
-            DEFAULT_RING_SLOTS,
-            ShmRingTransport,
-        )
-
-        return ShmRingTransport(
-            num_server_ranks,
-            max_concurrent_clients=max_concurrent_clients,
-            max_queue_size=max_queue_size,
-            ring_slots=DEFAULT_RING_SLOTS if ring_slots is None else ring_slots,
-            ring_slot_bytes=(DEFAULT_RING_SLOT_BYTES if ring_slot_bytes is None
-                else ring_slot_bytes),
-        )
-    raise ValueError(
-        f"unknown transport kind {kind!r} (expected 'inproc', 'mp' or 'shm')"
+    config = TransportConfig.resolve(
+        kind,
+        transport_queue_size=max_queue_size,
+        ring_slots=ring_slots,
+        ring_slot_bytes=ring_slot_bytes,
     )
+    entry = _BACKENDS.get(config.backend)
+    if entry is None:  # only reachable if a backend was unregistered since
+        raise ConfigurationError(f"unknown transport backend {config.backend!r}")
+    return entry.factory(config, int(num_server_ranks), int(max_concurrent_clients))

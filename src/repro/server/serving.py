@@ -1,0 +1,228 @@
+"""Asyncio serving tier: the TCP front door of the training server.
+
+:class:`AsyncFrontDoor` runs an ``asyncio`` accept loop in one daemon thread
+of the **server** process.  Each accepted connection is a per-client reader
+task that
+
+1. reads the handshake frame (client id + dedup epoch, see
+   :mod:`repro.parallel.framing`) and registers the client with the sink;
+2. then streams batch frames — header, body — and enqueues them on the
+   sink's per-rank channels, where the aggregator threads drain them through
+   the normal ``poll_batches``/columnar decode path.
+
+Back-pressure is per connection: when a rank channel is full the reader task
+simply stops reading that socket (an async sleep-retry loop), the kernel's
+TCP window fills, and the remote client's ``sendall`` blocks — the socket
+equivalent of the ZMQ high-water-mark contract the other backends model with
+bounded queues.  Other connections keep streaming meanwhile.
+
+Failure semantics: a connection that ends mid-frame (client killed between
+``send`` calls of one frame) counts one torn batch, exactly like a
+shared-memory ring writer killed mid-commit; a protocol violation (bad
+magic, oversized length, unknown kind) drops the connection and counts one
+rejected frame.  Both leave the accept loop and every other connection
+running.
+
+The sink is duck-typed (in practice
+:class:`repro.parallel.tcp_transport.TcpTransport`) and must provide
+``num_server_ranks``, ``closed``, ``try_enqueue(rank, entry)``,
+``register_client(client_id, epoch, peer)``, ``record_torn_frame()`` and
+``record_rejected_frame()``; every one of those calls must be safe to make
+from the event-loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional, Set, Tuple
+
+from repro.parallel import framing
+from repro.utils.exceptions import ReproError
+from repro.utils.logging import get_logger
+
+logger = get_logger("server.serving")
+
+#: How often a reader task re-probes a full rank channel.  Short enough that
+#: drained channels resume the socket promptly, long enough that a stalled
+#: aggregator does not spin the event loop.
+_BACKPRESSURE_POLL = 0.005
+
+#: Bound on waiting for the accept loop to come up or tear down.
+_LIFECYCLE_TIMEOUT = 30.0
+
+
+class AsyncFrontDoor:
+    """Accept loop + per-connection reader tasks feeding a transport sink."""
+
+    def __init__(
+        self,
+        sink,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_frame_bytes: int = framing.MAX_FRAME_BYTES,
+    ) -> None:
+        self._sink = sink
+        self._host = host
+        self._port = int(port)
+        self._max_frame_bytes = int(max_frame_bytes)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._started = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._address: Optional[Tuple[str, int]] = None
+        # Reader-task bookkeeping, touched only from the event-loop thread.
+        self._tasks: Set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------- lifecycle
+    @property
+    def address(self) -> Optional[Tuple[str, int]]:
+        """The bound (host, port) once started (resolves ``port=0`` binds)."""
+        return self._address
+
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve; returns the resolved (host, port)."""
+        if self._thread is not None:
+            raise RuntimeError("front door already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-tcp-front-door", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(_LIFECYCLE_TIMEOUT)
+        if self._error is not None:
+            raise self._error
+        if self._address is None:
+            raise ReproError("tcp front door failed to start within the lifecycle timeout")
+        return self._address
+
+    def stop(self, timeout: float = _LIFECYCLE_TIMEOUT) -> None:
+        """Stop accepting, cancel the reader tasks and join the loop thread."""
+        thread = self._thread
+        if thread is None or not thread.is_alive():
+            return
+        loop = self._loop
+        if loop is not None:
+            try:
+                loop.call_soon_threadsafe(self._request_stop)
+            except RuntimeError:
+                pass  # loop already closed between the check and the call
+        thread.join(timeout)
+        if thread.is_alive():
+            logger.warning("tcp front door thread did not stop within %.1fs", timeout)
+
+    def _request_stop(self) -> None:
+        if self._stop_event is not None:
+            self._stop_event.set()
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._main())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to start()/logs
+            self._error = exc
+            logger.warning("tcp front door terminated: %s", exc, exc_info=True)
+        finally:
+            self._loop = None
+            loop.close()
+            self._started.set()  # unblock a start() waiting on a failed bind
+
+    async def _main(self) -> None:
+        self._stop_event = asyncio.Event()
+        server = await asyncio.start_server(self._serve, self._host, self._port)
+        sockname = server.sockets[0].getsockname()
+        self._address = (sockname[0], sockname[1])
+        self._started.set()
+        try:
+            await self._stop_event.wait()
+        finally:
+            server.close()
+            for task in list(self._tasks):
+                task.cancel()
+            if self._tasks:
+                await asyncio.gather(*self._tasks, return_exceptions=True)
+            try:
+                await server.wait_closed()
+            except (asyncio.CancelledError, RuntimeError):
+                pass
+
+    # ----------------------------------------------------------- connections
+    async def _serve(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._tasks.add(task)
+        peer = writer.get_extra_info("peername")
+        try:
+            await self._serve_connection(reader, peer)
+        except asyncio.CancelledError:
+            pass  # shutdown path: close the socket quietly
+        except asyncio.IncompleteReadError:
+            # EOF landed inside a frame: the client died mid-send, exactly a
+            # ring writer killed mid-commit.  EOF *between* frames is a clean
+            # close and never reaches here.
+            self._sink.record_torn_frame()
+            logger.warning("connection %s: stream ended mid-frame (torn batch)", peer)
+        except framing.FrameError as exc:
+            self._sink.record_rejected_frame()
+            logger.warning("connection %s: protocol violation, dropping: %s", peer, exc)
+        except (ConnectionError, OSError) as exc:
+            self._sink.record_torn_frame()
+            logger.warning("connection %s: reset mid-stream: %s", peer, exc)
+        finally:
+            if task is not None:
+                self._tasks.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(self, reader: asyncio.StreamReader, peer) -> None:
+        frame = await self._read_frame(reader)
+        if frame is None:
+            return  # connected and went away without a handshake
+        kind, flags, rank, body, raw_len, wire_nbytes = frame
+        if kind != framing.KIND_HELLO or flags != 0:
+            raise framing.FrameError("first frame must be an uncompressed hello")
+        client_id, epoch = framing.decode_hello(body)
+        self._sink.register_client(client_id, epoch, peer)
+        logger.debug("connection %s: client %d (epoch %d) connected", peer, client_id, epoch)
+        while True:
+            frame = await self._read_frame(reader)
+            if frame is None:
+                return  # clean close between frames
+            kind, flags, rank, body, raw_len, wire_nbytes = frame
+            if kind != framing.KIND_BATCH:
+                raise framing.FrameError(f"unexpected frame kind {kind} after handshake")
+            if not 0 <= rank < self._sink.num_server_ranks:
+                raise framing.FrameError(f"frame rank {rank} out of range")
+            await self._enqueue(rank, (body, flags, raw_len, wire_nbytes))
+
+    async def _read_frame(self, reader: asyncio.StreamReader):
+        """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+        try:
+            header = await reader.readexactly(framing.FRAME_HEADER_BYTES)
+        except asyncio.IncompleteReadError as exc:
+            if exc.partial:
+                raise  # torn: some header bytes arrived, the rest never will
+            return None
+        kind, flags, rank, body_len, raw_len = framing.parse_header(header)
+        if body_len > self._max_frame_bytes:
+            raise framing.FrameError(
+                f"frame body of {body_len} bytes exceeds this front door's cap"
+            )
+        body = await reader.readexactly(body_len) if body_len else b""
+        return kind, flags, rank, body, raw_len, framing.FRAME_HEADER_BYTES + body_len
+
+    async def _enqueue(self, rank: int, entry) -> None:
+        """Hand one frame to the sink, applying per-connection back-pressure."""
+        while not self._sink.try_enqueue(rank, entry):
+            if self._sink.closed or (self._stop_event is not None
+                                     and self._stop_event.is_set()):
+                # Tearing down: account the undeliverable frame as dropped
+                # instead of spinning against a channel nobody drains.
+                self._sink.record_rejected_frame()
+                return
+            await asyncio.sleep(_BACKPRESSURE_POLL)

@@ -21,6 +21,14 @@ from typing import Any, Dict, Optional
 #: ZMQ-high-water-mark contract of the study hot path).
 QUEUE_DROP_TIMEOUT = 0.1
 
+#: Default geometry of one shared-memory SPSC ring: ``DEFAULT_RING_SLOTS``
+#: packed batches of at most ``DEFAULT_RING_SLOT_BYTES`` bytes each.  This is
+#: the single source of truth — ``repro.parallel.shm_ring`` re-exports the
+#: names and ``repro.parallel.transport.ShmOptions`` defaults to them, so the
+#: study-config default and the backend default cannot drift apart.
+DEFAULT_RING_SLOTS = 16
+DEFAULT_RING_SLOT_BYTES = 64 * 1024
+
 #: Environment variable through which CI lowers the benchmark speedup floors.
 #: Shared runners are too noisy for the strict local wall-clock bars, so the
 #: workflow runs every benchmark smoke step with a reduced floor (see

@@ -1,0 +1,172 @@
+"""The consolidated TransportConfig API and its legacy flat-field aliases.
+
+Pins the ISSUE's compatibility contract: the deprecated flat knobs of
+``OnlineStudyConfig`` and the typed ``TransportConfig`` spelling must
+produce *identical* resolved configurations, the backend registry must
+drive ``make_transport``, and the ring geometry defaults must come from one
+place (``repro.utils.constants``).
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.config import OnlineStudyConfig
+from repro.parallel import shm_ring
+from repro.parallel.transport import (
+    MessageRouter,
+    ShmOptions,
+    TcpOptions,
+    TransportConfig,
+    available_backends,
+    make_transport,
+    register_backend,
+)
+from repro.utils.constants import DEFAULT_RING_SLOT_BYTES, DEFAULT_RING_SLOTS
+from repro.utils.exceptions import ConfigurationError
+
+
+# ------------------------------------------------------------- equivalence
+def test_flat_fields_and_transport_config_resolve_identically():
+    typed = OnlineStudyConfig(
+        transport=TransportConfig(
+            backend="shm",
+            batch_size=6,
+            queue_size=512,
+            process_timeout=30.0,
+            heartbeat_timeout=5.0,
+            shm=ShmOptions(ring_slots=8, ring_slot_bytes=4096),
+        )
+    )
+    with pytest.warns(DeprecationWarning, match="flat transport field"):
+        flat = OnlineStudyConfig(
+            transport="shm",
+            transport_batch_size=6,
+            transport_queue_size=512,
+            client_process_timeout=30.0,
+            client_heartbeat_timeout=5.0,
+            ring_slots=8,
+            ring_slot_bytes=4096,
+        )
+    assert flat.transport_config == typed.transport_config
+    # Both spellings collapse ``transport`` to the backend name and write the
+    # resolved values back to the flat aliases for legacy readers.
+    for cfg in (flat, typed):
+        assert cfg.transport == "shm"
+        assert cfg.transport_batch_size == 6
+        assert cfg.transport_queue_size == 512
+        assert cfg.ring_slots == 8
+        assert cfg.ring_slot_bytes == 4096
+        assert cfg.client_process_timeout == 30.0
+        assert cfg.client_heartbeat_timeout == 5.0
+
+
+def test_plain_backend_string_stays_silent_and_uses_defaults():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        cfg = OnlineStudyConfig(transport="inproc")
+    assert cfg.transport == "inproc"
+    assert cfg.transport_config == TransportConfig()
+    assert cfg.transport_batch_size == 1
+    assert cfg.transport_queue_size == 100_000
+    assert cfg.client_heartbeat_timeout is None
+
+
+def test_flat_overrides_on_top_of_typed_config():
+    cfg = TransportConfig(backend="tcp", tcp=TcpOptions(compression="zlib"))
+    resolved = TransportConfig.resolve(cfg, transport_batch_size=16, ring_slots=4)
+    assert resolved.backend == "tcp"
+    assert resolved.batch_size == 16
+    assert resolved.shm.ring_slots == 4
+    assert resolved.tcp.compression == "zlib"  # untouched nested options survive
+    # No overrides: resolve returns the config unchanged.
+    assert TransportConfig.resolve(cfg) is cfg
+
+
+def test_client_mode_follows_backend():
+    assert TransportConfig(backend="inproc").client_mode == "thread"
+    for backend in ("mp", "shm", "tcp"):
+        assert TransportConfig(backend=backend).client_mode == "process"
+
+
+# -------------------------------------------------------------- validation
+def test_unknown_backend_rejected():
+    with pytest.raises(ConfigurationError, match="unknown transport backend"):
+        TransportConfig(backend="zmq")
+    with pytest.raises(ConfigurationError):
+        OnlineStudyConfig(transport="zmq")
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"batch_size": 0},
+        {"queue_size": -1},
+        {"process_timeout": 0.0},
+        {"heartbeat_timeout": -2.0},
+    ],
+)
+def test_invalid_transport_config_fields_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        TransportConfig(**kwargs)
+
+
+def test_invalid_nested_options_rejected():
+    with pytest.raises(ConfigurationError, match="ring_slots"):
+        ShmOptions(ring_slots=0)
+    with pytest.raises(ConfigurationError, match="ring_slot_bytes"):
+        ShmOptions(ring_slot_bytes=-1)
+    with pytest.raises(ConfigurationError, match="compression"):
+        TcpOptions(compression="snappy")
+    with pytest.raises(ConfigurationError, match="port"):
+        TcpOptions(port=70_000)
+    with pytest.raises(ConfigurationError, match="host"):
+        TcpOptions(host="")
+
+
+# ---------------------------------------------------------------- registry
+def test_registry_lists_builtin_backends():
+    assert set(available_backends()) >= {"inproc", "mp", "shm", "tcp"}
+
+
+def test_registered_backend_drives_make_transport():
+    calls = {}
+
+    def factory(config, num_server_ranks, max_concurrent_clients):
+        calls["config"] = config
+        calls["ranks"] = num_server_ranks
+        calls["clients"] = max_concurrent_clients
+        return MessageRouter(num_server_ranks, max_queue_size=config.queue_size)
+
+    register_backend("test-loop", factory, client_mode="thread")
+    try:
+        transport = make_transport(
+            TransportConfig(backend="test-loop", queue_size=7), 3,
+            max_concurrent_clients=5,
+        )
+        assert isinstance(transport, MessageRouter)
+        assert calls["config"].queue_size == 7
+        assert (calls["ranks"], calls["clients"]) == (3, 5)
+        assert TransportConfig(backend="test-loop").client_mode == "thread"
+        transport.shutdown()
+    finally:
+        from repro.parallel.transport import _BACKENDS
+
+        _BACKENDS.pop("test-loop", None)
+
+
+def test_register_backend_rejects_bad_client_mode():
+    with pytest.raises(ValueError, match="client_mode"):
+        register_backend("bad", lambda *a: None, client_mode="fiber")
+
+
+# ------------------------------------------------------ ring single source
+def test_ring_geometry_defaults_have_one_source():
+    assert shm_ring.DEFAULT_RING_SLOTS == DEFAULT_RING_SLOTS
+    assert shm_ring.DEFAULT_RING_SLOT_BYTES == DEFAULT_RING_SLOT_BYTES
+    options = ShmOptions()
+    assert options.ring_slots == DEFAULT_RING_SLOTS
+    assert options.ring_slot_bytes == DEFAULT_RING_SLOT_BYTES
+    cfg = OnlineStudyConfig()
+    assert cfg.ring_slots == DEFAULT_RING_SLOTS
+    assert cfg.ring_slot_bytes == DEFAULT_RING_SLOT_BYTES
