@@ -11,32 +11,71 @@ tolerance against the committed trajectory baseline:
 
 The gate compares *speedups* (ratios of two timings from the same run), not
 absolute rates: ratios stay comparable across runner generations where
-msg/s numbers do not.  A result present in the baseline but absent from the
+msg/s numbers do not.  The absolute msg/s rates each benchmark recorded are
+still shown (their own column) so a ratio can be sanity-checked against the
+magnitudes behind it.  A result present in the baseline but absent from the
 report is reported as a warning, not a failure, so a skipped smoke step does
-not mask itself as a pass of the full matrix.
+not mask itself as a pass of the full matrix — but an entry *present* and
+malformed (missing ``name``/``speedup``, or a NaN/infinite speedup) fails
+the gate outright: silently skipping it would hide a broken recorder.
 """
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
+
+_RATE_SUFFIX = "msgs_per_s"
+
+
+def _rate_cell(detail: dict) -> str:
+    """Absolute-rate column: every ``*msgs_per_s`` detail key, labelled."""
+    rates = []
+    for key, value in detail.items():
+        if not key.endswith(_RATE_SUFFIX):
+            continue
+        label = key[: -len(_RATE_SUFFIX)].rstrip("_") or "rate"
+        cell = f"{value:,.0f}" if isinstance(value, (int, float)) else str(value)
+        rates.append(f"{label} {cell}")
+    return "; ".join(rates) or "—"
+
+
+def validate(report: dict, label: str) -> list:
+    """Structural errors that must fail the run instead of being skipped."""
+    errors = []
+    for index, entry in enumerate(report.get("results", [])):
+        name = entry.get("name")
+        where = f"{label} entry {index}" + (f" (`{name}`)" if name else "")
+        if not name:
+            errors.append(f"{where}: missing 'name'")
+        speedup = entry.get("speedup")
+        if speedup is None:
+            errors.append(f"{where}: missing 'speedup'")
+        elif not isinstance(speedup, (int, float)) or not math.isfinite(speedup):
+            errors.append(f"{where}: non-finite speedup {speedup!r}")
+    return errors
 
 
 def render(report: dict) -> str:
     lines = [
         "## Benchmark speedups",
         "",
-        "| benchmark | speedup | enforced floor | detail |",
-        "|---|---|---|---|",
+        "| benchmark | speedup | enforced floor | msg/s | detail |",
+        "|---|---|---|---|---|",
     ]
     for entry in sorted(report.get("results", []), key=lambda e: e.get("name", "")):
         unit = entry.get("unit", "x")
         floor = entry.get("floor")
         floor_cell = f"{floor:g}{unit}" if floor is not None else "—"
         detail = entry.get("detail") or {}
-        detail_cell = ", ".join(f"{key}={value}" for key, value in detail.items()) or "—"
+        detail_cell = ", ".join(
+            f"{key}={value}" for key, value in detail.items()
+            if not key.endswith(_RATE_SUFFIX)
+        ) or "—"
         lines.append(
-            f"| `{entry['name']}` | {entry['speedup']:g}{unit} | {floor_cell} | {detail_cell} |"
+            f"| `{entry['name']}` | {entry['speedup']:g}{unit} | {floor_cell} "
+            f"| {_rate_cell(detail)} | {detail_cell} |"
         )
     lines.append("")
     return "\n".join(lines)
@@ -108,6 +147,11 @@ def main(argv: list) -> int:
         print(f"(no benchmark report at {args.report})")
         return 0
     report = json.loads(args.report.read_text())
+    errors = validate(report, args.report.name)
+    if errors:
+        for item in errors:
+            print(f"malformed benchmark entry: {item}", file=sys.stderr)
+        return 2
     print(render(report))
     if args.baseline is None:
         return 0
@@ -115,6 +159,11 @@ def main(argv: list) -> int:
         print(f"(no baseline at {args.baseline})", file=sys.stderr)
         return 2
     baseline = json.loads(args.baseline.read_text())
+    errors = validate(baseline, args.baseline.name)
+    if errors:
+        for item in errors:
+            print(f"malformed benchmark entry: {item}", file=sys.stderr)
+        return 2
     regressions, warnings = check_trajectory(report, baseline, args.tolerance)
     print(render_trajectory(regressions, warnings, args.baseline))
     if regressions:

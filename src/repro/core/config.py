@@ -62,6 +62,13 @@ class OnlineStudyConfig:
     ring_slot_bytes: Optional[int] = None
     client_process_timeout: Optional[float] = None
     client_heartbeat_timeout: Optional[float] = None
+    #: Sharded serving tier: run this many independent server shards with
+    #: clients routed by consistent hashing on client id (see
+    #: ``docs/scaling.md``).  A convenience alias of
+    #: ``TransportConfig.shard.num_shards`` — not deprecated; ``None``
+    #: inherits from :attr:`transport`.  After construction it holds the
+    #: resolved shard count.
+    num_shards: Optional[int] = None
     #: The normalised transport configuration — the single object the study
     #: driver hands to ``make_transport`` and the launcher.  Derived in
     #: ``__post_init__`` from :attr:`transport` plus any flat overrides.
@@ -114,9 +121,11 @@ class OnlineStudyConfig:
                 DeprecationWarning,
                 stacklevel=3,
             )
-        resolved = TransportConfig.resolve(self.transport, **flat)
+        resolved = TransportConfig.resolve(self.transport, num_shards=self.num_shards,
+                                           **flat)
         self.transport_config = resolved
         self.transport = resolved.backend
+        self.num_shards = resolved.shard.num_shards
         self.transport_batch_size = resolved.batch_size
         self.transport_queue_size = resolved.queue_size
         self.ring_slots = resolved.shm.ring_slots

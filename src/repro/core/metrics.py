@@ -197,7 +197,14 @@ def throughput_from_summary(summary: Dict[str, float]) -> float:
     return float(summary.get("total_throughput", summary.get("mean_throughput", 0.0)))
 
 
-def merge_worker_metrics(per_rank: List[TrainingMetrics]) -> Dict[str, float]:
+def _best_loss(values: List[float]) -> float:
+    """The lowest non-NaN value, or the first value if all are NaN."""
+    finite = [v for v in values if not np.isnan(v)]
+    return float(min(finite)) if finite else float(values[0])
+
+
+def merge_worker_metrics(per_rank: List[TrainingMetrics],
+                         num_shards: int = 1) -> Dict[str, float]:
     """Aggregate per-rank metrics into study-level numbers.
 
     Throughput sums across ranks (each rank feeds its own GPU), so it is
@@ -205,19 +212,29 @@ def merge_worker_metrics(per_rank: List[TrainingMetrics]) -> Dict[str, float]:
     deprecated alias with the same value because earlier versions (mis)named
     the sum that way.  Losses come from rank 0 (replicas are identical after
     all-reduce); batch counts sum.
+
+    With ``num_shards > 1`` the list is shard-major (all ranks of shard 0,
+    then shard 1, ...): the totals still sum over every rank of every
+    shard, while the validation numbers come from the best shard's rank 0 —
+    shards train independent replicas on hash-partitioned client streams,
+    so the study reports the best surrogate the cluster produced (matching
+    the model :class:`repro.server.sharding.ShardManager` returns).
     """
     if not per_rank:
         return {}
-    rank0 = per_rank[0]
+    num_shards = max(1, int(num_shards))
+    ranks_per_shard = max(1, len(per_rank) // num_shards)
+    lead_ranks = per_rank[::ranks_per_shard][:num_shards]
     total_throughput = float(sum(m.throughput.mean_throughput() for m in per_rank))
     return {
         "num_ranks": float(len(per_rank)),
+        "num_shards": float(num_shards),
         "total_batches": float(sum(m.batches_trained for m in per_rank)),
         "total_samples": float(sum(m.samples_trained for m in per_rank)),
         "total_throughput": total_throughput,
         # Deprecated alias, see docstring.
         "mean_throughput": total_throughput,
-        "best_val_mse": rank0.losses.best_validation_loss,
-        "final_val_mse": rank0.losses.final_validation_loss,
+        "best_val_mse": _best_loss([m.losses.best_validation_loss for m in lead_ranks]),
+        "final_val_mse": _best_loss([m.losses.final_validation_loss for m in lead_ranks]),
         "wall_time": max(m.wall_time for m in per_rank),
     }

@@ -27,6 +27,7 @@ from repro.offline.storage import SimulationStore
 from repro.offline.trainer import OfflineTrainer, OfflineTrainingConfig
 from repro.parallel.transport import Transport, make_transport
 from repro.server.server import ServerConfig, TrainingServer
+from repro.server.sharding import HashRing, ShardManager
 from repro.server.validation import ValidationSet
 
 Array = np.ndarray
@@ -57,9 +58,9 @@ class OnlineStudy:
             for index, row in enumerate(parameters)
         ]
 
-    def _build_server(self, router: Transport) -> TrainingServer:
+    def _server_config(self) -> ServerConfig:
         cfg = self.config
-        server_config = ServerConfig(
+        return ServerConfig(
             num_ranks=cfg.num_ranks,
             buffer_kind=cfg.buffer_kind,
             buffer_capacity=cfg.buffer_capacity,
@@ -74,15 +75,29 @@ class OnlineStudy:
             checkpoint_dir=cfg.checkpoint_dir,
             checkpoint_interval=cfg.checkpoint_interval,
         )
+
+    def _build_server(self, router: Transport) -> TrainingServer:
         return TrainingServer(
-            config=server_config,
+            config=self._server_config(),
             model_factory=self.case.model_factory,
             router=router,
             validation=self.validation,
         )
 
+    def _build_shard_manager(self, specs: Sequence[ClientSpec]) -> ShardManager:
+        cfg = self.config
+        return ShardManager(
+            server_config=self._server_config(),
+            transport_config=cfg.transport_config,
+            model_factory=self.case.model_factory,
+            client_ids=[spec.client_id for spec in specs],
+            validation=self.validation,
+            max_concurrent_clients=cfg.max_concurrent_clients,
+        )
+
     def _build_launcher(self, router: Transport, specs: Sequence[ClientSpec],
-                        server: TrainingServer) -> Launcher:
+                        heartbeat_monitor: object,
+                        shard_ring: Optional[HashRing] = None) -> Launcher:
         cfg = self.config
         solver_steps = self.case.solver_config.num_steps
 
@@ -107,10 +122,13 @@ class OnlineStudy:
         )
         # The server's aggregators feed the heartbeat monitor; handing it to
         # the launcher closes the paper's loop: the server watches for
-        # unresponsive clients, the launcher kills and restarts them.
+        # unresponsive clients, the launcher kills and restarts them.  In a
+        # sharded study the monitor and the transport both route by the hash
+        # ring, so the same protocol spans every shard.
         return Launcher(client_factory, specs, launcher_config,
-                        heartbeat_monitor=server.heartbeat_monitor,
-                        transport=router)
+                        heartbeat_monitor=heartbeat_monitor,
+                        transport=router,
+                        shard_ring=shard_ring)
 
     # -------------------------------------------------------------------- run
     def run(self) -> OnlineStudyResult:
@@ -121,19 +139,34 @@ class OnlineStudy:
         # launcher concurrency bound travels separately: the shm ring grid is
         # a slot table sized by it, not by the ensemble size — clients lease
         # a ring at connect and release it once their finished marker lands.
-        router = make_transport(
-            cfg.transport_config,
-            cfg.num_ranks,
-            max_concurrent_clients=cfg.max_concurrent_clients,
-        )
+        num_shards = cfg.transport_config.shard.num_shards
         specs = self._build_specs()
-        server = self._build_server(router)
-        launcher = self._build_launcher(router, specs, server)
+        shard_ring = None
+        if num_shards > 1:
+            # Sharded tier: one transport endpoint + server per shard, the
+            # hash ring routing each client at connect; the manager merges
+            # the per-shard results back into one ServerResult.
+            manager = self._build_shard_manager(specs)
+            router: Transport = manager.router
+            runner = manager
+            heartbeat_monitor = manager.heartbeat_monitor
+            shard_ring = manager.ring
+        else:
+            router = make_transport(
+                cfg.transport_config,
+                cfg.num_ranks,
+                max_concurrent_clients=cfg.max_concurrent_clients,
+            )
+            server = self._build_server(router)
+            runner = server
+            heartbeat_monitor = server.heartbeat_monitor
+        launcher = self._build_launcher(router, specs, heartbeat_monitor,
+                                        shard_ring=shard_ring)
 
         start = time.monotonic()
         try:
             launcher.start()
-            server_result = server.run()
+            server_result = runner.run()
             launcher_report = launcher.join()
             elapsed = time.monotonic() - start
         finally:
@@ -150,6 +183,7 @@ class OnlineStudy:
             config_summary={
                 "buffer_kind": cfg.buffer_kind,
                 "num_ranks": cfg.num_ranks,
+                "num_shards": num_shards,
                 "num_simulations": cfg.num_simulations,
                 "batch_size": cfg.batch_size,
                 "transport": cfg.transport,

@@ -90,6 +90,7 @@ def online_config(
     ring_slots: Optional[int] = None,
     ring_slot_bytes: Optional[int] = None,
     client_heartbeat_timeout: Optional[float] = None,
+    num_shards: Optional[int] = None,
 ) -> OnlineStudyConfig:
     """Online study configuration for one buffer policy and GPU count.
 
@@ -98,6 +99,7 @@ def online_config(
     transport keywords are legacy conveniences folded into it here (through
     ``TransportConfig.resolve``, the same normalization the study config
     applies), so the returned config never trips the deprecation path.
+    ``num_shards`` switches the study onto the sharded serving tier.
     """
     transport = TransportConfig.resolve(
         transport,
@@ -105,6 +107,7 @@ def online_config(
         ring_slots=ring_slots,
         ring_slot_bytes=ring_slot_bytes,
         client_heartbeat_timeout=client_heartbeat_timeout,
+        num_shards=num_shards,
     )
     return OnlineStudyConfig(
         num_simulations=scale.num_simulations,
@@ -140,6 +143,7 @@ def run_online_with_buffer(
     ring_slots: Optional[int] = None,
     ring_slot_bytes: Optional[int] = None,
     client_heartbeat_timeout: Optional[float] = None,
+    num_shards: Optional[int] = None,
 ) -> OnlineStudyResult:
     """Run one online study with the given buffer policy and rank count."""
     scale = scale or default_scale()
@@ -147,7 +151,8 @@ def run_online_with_buffer(
     config = online_config(scale, buffer_kind, num_ranks, use_series, max_batches,
         transport=transport, transport_batch_size=transport_batch_size,
         ring_slots=ring_slots, ring_slot_bytes=ring_slot_bytes,
-        client_heartbeat_timeout=client_heartbeat_timeout)
+        client_heartbeat_timeout=client_heartbeat_timeout,
+        num_shards=num_shards)
     if num_simulations is not None:
         config.num_simulations = num_simulations
         config.series_sizes = None

@@ -199,6 +199,10 @@ class LauncherReport:
     series_boundaries: List[float] = field(default_factory=list)
     elapsed: float = 0.0
     per_client_steps: Dict[int, int] = field(default_factory=dict)
+    #: Cluster-level breakdown of a sharded study: steps and completed
+    #: clients per shard, keyed by shard index (empty when unsharded).
+    per_shard_steps: Dict[int, int] = field(default_factory=dict)
+    per_shard_clients: Dict[int, int] = field(default_factory=dict)
 
     @property
     def total_steps_sent(self) -> int:
@@ -215,6 +219,7 @@ class Launcher:
         config: LauncherConfig | None = None,
         heartbeat_monitor: object | None = None,
         transport: object | None = None,
+        shard_ring: object | None = None,
     ) -> None:
         self.client_factory = client_factory
         self.specs = list(specs)
@@ -226,6 +231,10 @@ class Launcher:
         #: (``record_unresponsive_kill``) and for recycling a dead client's
         #: ring-slot lease (``release_client``) when restarts are exhausted.
         self.transport = transport
+        #: Hash ring of a sharded study (``shard_for(client_id)``); when
+        #: present, the report also aggregates per-shard totals so the
+        #: cluster-level breakdown ships with the ensemble outcome.
+        self.shard_ring = shard_ring
         self.report = LauncherReport()
         #: Guards every ``self.report`` mutation: restart and kill counters
         #: are incremented from concurrent pool threads, and ``+=`` on a
@@ -423,9 +432,27 @@ class Launcher:
                         with self._report_lock:
                             self.report.clients_completed += 1
                             self.report.per_client_steps[spec.client_id] = steps
+        self._aggregate_shard_totals()
         with self._report_lock:
             self.report.elapsed = time.monotonic() - start
         return self.report
+
+    def _aggregate_shard_totals(self) -> None:
+        """Fold per-client steps into per-shard totals (sharded studies only)."""
+        if self.shard_ring is None:
+            return
+        shard_for = self.shard_ring.shard_for
+        with self._report_lock:
+            per_client = dict(self.report.per_client_steps)
+        per_shard_steps: Dict[int, int] = {}
+        per_shard_clients: Dict[int, int] = {}
+        for client_id, steps in per_client.items():
+            shard = int(shard_for(client_id))
+            per_shard_steps[shard] = per_shard_steps.get(shard, 0) + int(steps)
+            per_shard_clients[shard] = per_shard_clients.get(shard, 0) + 1
+        with self._report_lock:
+            self.report.per_shard_steps = per_shard_steps
+            self.report.per_shard_clients = per_shard_clients
 
     # ---------------------------------------------------------- async control
     def start(self) -> None:

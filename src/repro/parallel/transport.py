@@ -33,7 +33,7 @@ import queue
 import threading
 from collections import deque
 from dataclasses import dataclass, field, replace
-from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.buffers.columns import ColumnBatch
 from repro.parallel.messages import (
@@ -44,7 +44,11 @@ from repro.parallel.messages import (
     unpack_columns,
     unpack_many,
 )
-from repro.utils.constants import DEFAULT_RING_SLOT_BYTES, DEFAULT_RING_SLOTS
+from repro.utils.constants import (
+    DEFAULT_HASH_RING_REPLICAS,
+    DEFAULT_RING_SLOT_BYTES,
+    DEFAULT_RING_SLOTS,
+)
 from repro.utils.exceptions import ConfigurationError, ReproError
 from repro.utils.logging import get_logger
 
@@ -601,6 +605,56 @@ class TcpOptions:
             raise ConfigurationError("tcp connect_timeout must be positive")
 
 
+def parse_endpoint(value: str) -> Tuple[str, int]:
+    """Split a ``"host:port"`` shard endpoint, validating both parts."""
+    host, sep, port_text = str(value).rpartition(":")
+    if not sep or not host:
+        raise ConfigurationError(f"shard endpoint {value!r} is not of the form 'host:port'")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigurationError(
+            f"shard endpoint {value!r} has a non-integer port"
+        ) from None
+    if not 0 <= port <= 65_535:
+        raise ConfigurationError(f"shard endpoint {value!r} port must be in [0, 65535]")
+    return host, port
+
+
+@dataclass(frozen=True)
+class ShardOptions:
+    """Sharded serving tier: how many shards and how clients map onto them.
+
+    With ``num_shards > 1`` the study runs that many independent server
+    shards — each with its own transport endpoint, aggregator threads,
+    buffer and training workers — and routes every client to exactly one
+    shard through a consistent-hash ring over its client id
+    (``hash_replicas`` virtual nodes per shard, see
+    :class:`repro.server.sharding.HashRing`).  ``endpoints`` optionally pins
+    each ``tcp`` shard to a ``"host:port"`` address so shards can live on
+    different hosts; within one host the ``shm`` backend needs no addresses
+    and ``endpoints`` stays empty.
+    """
+
+    num_shards: int = 1
+    hash_replicas: int = DEFAULT_HASH_RING_REPLICAS
+    endpoints: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ConfigurationError("num_shards must be positive")
+        if self.hash_replicas <= 0:
+            raise ConfigurationError("hash_replicas must be positive")
+        object.__setattr__(self, "endpoints", tuple(self.endpoints))
+        if self.endpoints and len(self.endpoints) != self.num_shards:
+            raise ConfigurationError(
+                f"shard_endpoints names {len(self.endpoints)} addresses "
+                f"for {self.num_shards} shards"
+            )
+        for endpoint in self.endpoints:
+            parse_endpoint(endpoint)
+
+
 @dataclass(frozen=True)
 class TransportConfig:
     """Typed transport configuration: one backend plus its per-backend options.
@@ -627,6 +681,7 @@ class TransportConfig:
     heartbeat_timeout: Optional[float] = None
     shm: ShmOptions = field(default_factory=ShmOptions)
     tcp: TcpOptions = field(default_factory=TcpOptions)
+    shard: ShardOptions = field(default_factory=ShardOptions)
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -642,6 +697,11 @@ class TransportConfig:
             raise ConfigurationError("process_timeout must be positive or None")
         if self.heartbeat_timeout is not None and self.heartbeat_timeout <= 0:
             raise ConfigurationError("heartbeat_timeout must be positive or None")
+        if self.shard.endpoints and self.backend != "tcp":
+            raise ConfigurationError(
+                "shard_endpoints only apply to the 'tcp' backend "
+                f"(got backend {self.backend!r})"
+            )
 
     @property
     def client_mode(self) -> str:
@@ -659,6 +719,9 @@ class TransportConfig:
         ring_slot_bytes: Optional[int] = None,
         client_process_timeout: Optional[float] = None,
         client_heartbeat_timeout: Optional[float] = None,
+        num_shards: Optional[int] = None,
+        shard_endpoints: Optional[Sequence[str]] = None,
+        hash_replicas: Optional[int] = None,
     ) -> "TransportConfig":
         """Normalize a backend string or config plus legacy flat overrides.
 
@@ -683,7 +746,35 @@ class TransportConfig:
             if ring_slot_bytes is not None:
                 shm_updates["ring_slot_bytes"] = int(ring_slot_bytes)
             updates["shm"] = replace(base.shm, **shm_updates)
+        if num_shards is not None or shard_endpoints is not None or hash_replicas is not None:
+            shard_updates: dict = {}
+            if num_shards is not None:
+                shard_updates["num_shards"] = int(num_shards)
+            if shard_endpoints is not None:
+                shard_updates["endpoints"] = tuple(shard_endpoints)
+            if hash_replicas is not None:
+                shard_updates["hash_replicas"] = int(hash_replicas)
+            updates["shard"] = replace(base.shard, **shard_updates)
         return replace(base, **updates) if updates else base
+
+    def for_shard(self, index: int) -> "TransportConfig":
+        """The single-shard transport config of shard ``index``.
+
+        Each shard runs an ordinary single-endpoint transport, so the
+        sharding options are stripped from the result; when
+        ``shard.endpoints`` pins addresses, the tcp options are rebound to
+        this shard's ``host:port``.
+        """
+        shard = self.shard
+        if not 0 <= index < shard.num_shards:
+            raise ConfigurationError(
+                f"shard index {index} out of range for {shard.num_shards} shard(s)"
+            )
+        updates: dict = {"shard": ShardOptions(hash_replicas=shard.hash_replicas)}
+        if shard.endpoints:
+            host, port = parse_endpoint(shard.endpoints[index])
+            updates["tcp"] = replace(self.tcp, host=host, port=port)
+        return replace(self, **updates)
 
 
 # ------------------------------------------------------------------- registry

@@ -44,6 +44,9 @@ class ServerConfig:
         Per-rank buffer parameters (the paper uses 6 000 / 1 000 at full scale).
     expected_clients:
         Number of ensemble members whose completion ends data reception.
+        ``0`` is a valid (idle) configuration: a shard of the sharded
+        serving tier to which the hash ring assigned no clients completes
+        reception immediately and drains an empty buffer.
     learning_rate:
         Initial learning rate of Adam (paper: 1e-3).
     lr_step_batches:
@@ -77,8 +80,8 @@ class ServerConfig:
     def __post_init__(self) -> None:
         if self.num_ranks <= 0:
             raise ValueError("num_ranks must be positive")
-        if self.expected_clients <= 0:
-            raise ValueError("expected_clients must be positive")
+        if self.expected_clients < 0:
+            raise ValueError("expected_clients must be non-negative")
 
 
 @dataclass

@@ -29,6 +29,14 @@ QUEUE_DROP_TIMEOUT = 0.1
 DEFAULT_RING_SLOTS = 16
 DEFAULT_RING_SLOT_BYTES = 64 * 1024
 
+#: Virtual nodes per shard on the consistent-hash ring of the sharded
+#: serving tier.  More replicas smooth the load spread across shards at the
+#: cost of a larger (still tiny) ring; 64 keeps the max/min client load
+#: ratio within ~2x for paper-scale ensembles.  Single source of truth for
+#: ``repro.parallel.transport.ShardOptions`` and
+#: ``repro.server.sharding.HashRing``.
+DEFAULT_HASH_RING_REPLICAS = 64
+
 #: Environment variable through which CI lowers the benchmark speedup floors.
 #: Shared runners are too noisy for the strict local wall-clock bars, so the
 #: workflow runs every benchmark smoke step with a reduced floor (see

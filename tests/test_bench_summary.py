@@ -1,0 +1,98 @@
+"""Contract tests of the CI benchmark-summary gate (``scripts/bench_summary.py``).
+
+The gate's failure modes matter more than its happy path: a malformed report
+entry (missing keys, NaN speedup) must fail the job loudly — silently
+skipping it would let a broken recorder pass as a green benchmark matrix —
+and the rendered table must surface the absolute msg/s rates next to each
+ratio so a speedup can be sanity-checked against the magnitudes behind it.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "bench_summary.py"
+
+GOOD_REPORT = {
+    "schema": 1,
+    "results": [
+        {
+            "name": "sharding.scale_2x",
+            "speedup": 2.0,
+            "unit": "x",
+            "floor": 1.7,
+            "detail": {"mode": "model", "aggregate_msgs_per_s": 29092},
+        },
+        {"name": "tcp.loopback_push", "speedup": 1.4, "unit": "x"},
+    ],
+}
+
+
+def run_summary(*argv):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), *map(str, argv)],
+        capture_output=True, text=True, cwd=REPO,
+    )
+
+
+def write(path: Path, payload: dict) -> Path:
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_table_shows_absolute_rates_next_to_speedups(tmp_path):
+    report = write(tmp_path / "report.json", GOOD_REPORT)
+    proc = run_summary(report)
+    assert proc.returncode == 0, proc.stderr
+    row = next(line for line in proc.stdout.splitlines() if "sharding.scale_2x" in line)
+    assert "2x" in row
+    assert "aggregate 29,092" in row  # absolute msg/s column
+    assert "mode=model" in row
+
+
+def test_malformed_report_entry_fails_instead_of_skipping(tmp_path):
+    for results in (
+        [{"speedup": 2.0}],  # missing name
+        [{"name": "a.b"}],  # missing speedup
+        [{"name": "a.b", "speedup": float("nan")}],
+        [{"name": "a.b", "speedup": "fast"}],
+    ):
+        report = write(tmp_path / "report.json", {"schema": 1, "results": results})
+        proc = run_summary(report)
+        assert proc.returncode == 2, results
+        assert "malformed benchmark entry" in proc.stderr, results
+
+
+def test_malformed_baseline_fails_even_when_the_report_is_clean(tmp_path):
+    report = write(tmp_path / "report.json", GOOD_REPORT)
+    baseline = write(
+        tmp_path / "baseline.json",
+        {"schema": 1, "results": [{"name": "a.b", "speedup": None}]},
+    )
+    proc = run_summary(report, "--baseline", baseline)
+    assert proc.returncode == 2
+    assert "malformed benchmark entry" in proc.stderr
+
+
+def test_trajectory_gate_still_catches_regressions(tmp_path):
+    report = write(tmp_path / "report.json", GOOD_REPORT)
+    regressed = {
+        "schema": 1,
+        "results": [{"name": "sharding.scale_2x", "speedup": 4.0, "unit": "x"}],
+    }
+    baseline = write(tmp_path / "baseline.json", regressed)
+    proc = run_summary(report, "--baseline", baseline, "--tolerance", "0.2")
+    assert proc.returncode == 1
+    assert "benchmark regression" in proc.stderr
+
+    # Baseline entries missing from the report stay warnings, not failures.
+    extra = {
+        "schema": 1,
+        "results": [{"name": "not.measured_here", "speedup": 1.5, "unit": "x"}],
+    }
+    baseline = write(tmp_path / "baseline.json", extra)
+    proc = run_summary(report, "--baseline", baseline)
+    assert proc.returncode == 0, proc.stderr
+    assert "Not measured this run" in proc.stdout

@@ -9,8 +9,10 @@ module-scope ``Thread`` simply does not exist on the other side.  Such state
 must be created per-instance (``__init__``) or post-fork.
 
 Reachability: modules matching the fork roots (``repro.launcher.*``,
-``repro.client.*``) plus everything they transitively import inside the
-project.  When a project contains no fork root at all (e.g. a fixture file
+``repro.client.*``, plus the sharded serving tier ``repro.server.sharding``
+and the tcp front door ``repro.server.serving`` — both are alive in the
+parent when clients fork) plus everything they transitively import inside
+the project.  When a project contains no fork root at all (e.g. a fixture file
 linted on its own) every module is considered reachable, so the rule still
 fires on standalone positives.
 """
@@ -49,7 +51,7 @@ _PRIMITIVE_CTORS = {
 #: Bare names that are too generic to flag without a module qualifier.
 _NEEDS_QUALIFIER = {"local"}
 
-_FORK_ROOT_MARKERS = ("launcher", "client")
+_FORK_ROOT_MARKERS = ("launcher", "client", "sharding", "serving")
 
 
 def _is_primitive_ctor(node: ast.Call) -> Optional[str]:
